@@ -1,0 +1,15 @@
+"""Ablation study: abl-airshed — problem-size scaling of the
+application's traffic (species count drives messages and periods)."""
+
+from repro.harness import run_ablation
+
+
+def test_ablation_airshed(benchmark, scale, seed):
+    art = benchmark.pedantic(
+        run_ablation, args=("abl-airshed",),
+        kwargs={"scale": scale, "seed": seed}, rounds=1, iterations=1,
+    )
+    print()
+    print(art.render())
+    failed = [k for k, ok in art.checks.items() if not ok]
+    assert not failed, failed

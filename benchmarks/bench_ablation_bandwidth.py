@@ -1,0 +1,18 @@
+"""Ablation: bandwidth-dependent periodicity (the abstract's claim).
+
+The same 2DFFT's burst period shortens as the LAN is upgraded from 10
+to 25 to 100 Mb/s — unlike a media stream, whose frame rate is fixed.
+"""
+
+from repro.harness import run_ablation
+
+
+def test_ablation_bandwidth(benchmark, scale, seed):
+    art = benchmark.pedantic(
+        run_ablation, args=("abl-bandwidth",),
+        kwargs={"scale": scale, "seed": seed}, rounds=1, iterations=1,
+    )
+    print()
+    print(art.render())
+    failed = [k for k, ok in art.checks.items() if not ok]
+    assert not failed, failed

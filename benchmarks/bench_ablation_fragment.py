@@ -1,0 +1,14 @@
+"""Ablation study: abl-fragment (see repro.harness.ablations)."""
+
+from repro.harness import run_ablation
+
+
+def test_ablation_fragment(benchmark, scale, seed):
+    art = benchmark.pedantic(
+        run_ablation, args=("abl-fragment",),
+        kwargs={"scale": scale, "seed": seed}, rounds=1, iterations=1,
+    )
+    print()
+    print(art.render())
+    failed = [k for k, ok in art.checks.items() if not ok]
+    assert not failed, failed

@@ -1,0 +1,16 @@
+"""Ablation study: abl-switched — the paper's QoS vision end to end
+(per-flow reservations on a next-generation LAN protect the program's
+burst interval from cross traffic)."""
+
+from repro.harness import run_ablation
+
+
+def test_ablation_switched(benchmark, scale, seed):
+    art = benchmark.pedantic(
+        run_ablation, args=("abl-switched",),
+        kwargs={"scale": scale, "seed": seed}, rounds=1, iterations=1,
+    )
+    print()
+    print(art.render())
+    failed = [k for k, ok in art.checks.items() if not ok]
+    assert not failed, failed

@@ -1,0 +1,9 @@
+"""§1/§8: Fx traffic is fundamentally different from classical traffic
+models (Poisson, on-off, self-similar media streams)."""
+
+from conftest import run_and_check
+
+
+def test_baseline_comparison(benchmark, scale, seed):
+    art = run_and_check(benchmark, "baseline", scale, seed)
+    assert art.metrics["2dfft/concentration"] > art.metrics["poisson/concentration"]

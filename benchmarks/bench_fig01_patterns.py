@@ -1,0 +1,9 @@
+"""Figure 1: the Fx communication patterns as connectivity matrices."""
+
+from conftest import run_and_check
+
+
+def test_fig1_patterns(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig1", scale, seed)
+    # every pattern rendered
+    assert len(art.tables) == 5

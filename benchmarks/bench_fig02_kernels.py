@@ -1,0 +1,8 @@
+"""Figure 2: the kernel/pattern table."""
+
+from conftest import run_and_check
+
+
+def test_fig2_kernels(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig2", scale, seed)
+    assert "SOR" in art.tables["kernels"]

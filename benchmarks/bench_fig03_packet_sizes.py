@@ -1,0 +1,18 @@
+"""Figure 3: packet size statistics (aggregate and connection).
+
+Paper values for reference (bytes):
+  aggregate: SOR 58/1518/473, 2DFFT 58/1518/969, T2DFFT 58/1518/912,
+             SEQ 58/90/75, HIST 58/1518/499
+  connection: T2DFFT avg 1442 sd 158 (mostly-full packets from the
+             fragment-list route).
+"""
+
+from conftest import run_and_check
+
+
+def test_fig3_packet_sizes(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig3", scale, seed)
+    # the packet-size *bounds* are protocol facts and match exactly
+    assert art.metrics["2dfft/min"] == 58
+    assert art.metrics["2dfft/max"] == 1518
+    assert art.metrics["seq/avg"] < 120

@@ -1,0 +1,14 @@
+"""Figure 4: packet interarrival statistics (ms).
+
+Paper: aggregate averages SOR 82.1, 2DFFT 1.3, T2DFFT 1.5, SEQ 1.3,
+HIST 16.5; every kernel's max/avg ratio is very high (burstiness).
+"""
+
+from conftest import run_and_check
+
+
+def test_fig4_interarrival(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig4", scale, seed)
+    # relative ordering: the FFTs arrive fastest, SOR slowest
+    assert art.metrics["sor/avg_ms"] > art.metrics["hist/avg_ms"]
+    assert art.metrics["hist/avg_ms"] > art.metrics["2dfft/avg_ms"]

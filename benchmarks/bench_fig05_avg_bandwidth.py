@@ -1,0 +1,14 @@
+"""Figure 5: average bandwidth (KB/s).
+
+Paper: SOR 5.6, 2DFFT 754.8, T2DFFT 607.1, SEQ 58.3, HIST 29.6
+(aggregate); SOR 0.9, 2DFFT 63.2, T2DFFT 148.6 (connection).
+"""
+
+from conftest import run_and_check
+
+
+def test_fig5_average_bandwidth(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig5", scale, seed)
+    # magnitudes land in the paper's regime
+    assert 400 < art.metrics["2dfft/KB_s"] < 1100
+    assert art.metrics["sor/KB_s"] < 20

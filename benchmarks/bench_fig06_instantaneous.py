@@ -1,0 +1,15 @@
+"""Figure 6: instantaneous bandwidth (10 ms sliding window), 10 s spans.
+
+The paper's plots show compute/communicate alternation: long stretches
+of near-zero bandwidth separated by intense bursts.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig6_instantaneous_bandwidth(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig6", scale, seed)
+    assert len(art.series) == 8  # the paper's eight panels
+    for name, (t, bw) in art.series.items():
+        assert len(t) > 0, f"empty panel {name}"
+        assert t[-1] <= 10.0 + 1e-9

@@ -1,0 +1,18 @@
+"""Figure 7: power spectra of the kernels (10 ms bins, whole trace).
+
+Paper: SEQ's 4 Hz harmonic dominates; HIST has a 5 Hz fundamental with
+declining harmonics; 2DFFT a clear 0.5 Hz fundamental; T2DFFT the least
+clean spectra (PVM fragment handling).
+"""
+
+from conftest import run_and_check
+
+
+def test_fig7_power_spectra(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig7", scale, seed)
+    # T2DFFT's aggregate spectrum is less concentrated than 2DFFT's
+    # (the paper's "least clear periodicity of all the Fx kernels")
+    assert (
+        art.metrics["t2dfft-aggregate/concentration_top20"]
+        < art.metrics["2dfft-aggregate/concentration_top20"]
+    )

@@ -1,0 +1,12 @@
+"""Figure 8: AIRSHED packet sizes; connection mirrors aggregate.
+
+Paper: aggregate 58/1518/899/693, connection 58/1518/889/688 — the
+single connection is representative of the aggregate.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig8_airshed_packet_sizes(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig8", scale, seed)
+    assert abs(art.metrics["conn/avg"] - art.metrics["agg/avg"]) < 150

@@ -1,0 +1,12 @@
+"""Figure 9: AIRSHED interarrival statistics.
+
+Paper: max and average are an order of magnitude above the kernels'
+(23448 ms max aggregate), with a very high max/avg ratio (burstiness).
+"""
+
+from conftest import run_and_check
+
+
+def test_fig9_airshed_interarrival(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig9", scale, seed)
+    assert art.metrics["agg/max_ms"] > 5000  # multi-second idle gaps

@@ -1,0 +1,13 @@
+"""Figure 10: AIRSHED instantaneous bandwidth, 500 s and 60 s spans.
+
+Paper: 32.7 KB/s aggregate and 2.7 KB/s per connection on average;
+highly periodic bursts over three time scales.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig10_airshed_bandwidth(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig10", scale, seed)
+    assert 10 < art.metrics["agg/KB_s"] < 150
+    assert "aggregate-60s" in art.series

@@ -1,0 +1,12 @@
+"""Figure 11: AIRSHED power spectra at three zoom levels.
+
+Paper: three peak families at ~0.015 Hz (simulation hour), ~0.2 Hz
+(chemistry/vertical transport) and ~5 Hz (horizontal transport).
+"""
+
+from conftest import run_and_check
+
+
+def test_fig11_airshed_spectra(benchmark, scale, seed):
+    art = run_and_check(benchmark, "fig11", scale, seed)
+    assert len(art.series) == 6  # two scopes x three zoom bands

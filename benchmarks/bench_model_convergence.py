@@ -1,0 +1,10 @@
+"""§7.2: the truncated-Fourier model converges as spikes are added, and
+traffic generated from the model tracks the modelled bandwidth."""
+
+from conftest import run_and_check
+
+
+def test_model_convergence(benchmark, scale, seed):
+    art = run_and_check(benchmark, "model", scale, seed)
+    for name in ("2dfft", "seq", "hist"):
+        assert art.metrics[f"{name}/err@200"] <= art.metrics[f"{name}/err@10"]

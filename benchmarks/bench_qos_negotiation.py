@@ -1,0 +1,10 @@
+"""§7.3: the QoS negotiation model returns the processor count that
+minimizes the burst interval, per kernel characterization."""
+
+from conftest import run_and_check
+
+
+def test_qos_negotiation(benchmark, scale, seed):
+    art = run_and_check(benchmark, "qos", scale, seed)
+    assert all(f"{n}/chosen_P" in art.metrics
+               for n in ("sor", "2dfft", "t2dfft", "seq", "hist"))

@@ -1,0 +1,27 @@
+"""Seed robustness: the headline figures' shape criteria hold across
+independent seeds (the paper's "repeated several times")."""
+
+from repro.harness import replicate
+from repro.harness.experiments import fig5_bandwidth, fig7_spectra
+
+
+def test_fig5_seed_robust(benchmark, scale, seed):
+    rep = benchmark.pedantic(
+        replicate, args=(fig5_bandwidth,),
+        kwargs={"seeds": (seed, seed + 1, seed + 2), "scale": "smoke"},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(rep.render())
+    assert rep.all_checks_always_pass
+
+
+def test_fig7_seed_robust(benchmark, scale, seed):
+    rep = benchmark.pedantic(
+        replicate, args=(fig7_spectra,),
+        kwargs={"seeds": (seed, seed + 1, seed + 2), "scale": "smoke"},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(rep.render())
+    assert rep.all_checks_always_pass

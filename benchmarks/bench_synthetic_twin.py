@@ -1,0 +1,10 @@
+"""§7.2 loop closed: synthetic twins generated from spectral models
+match each kernel's mean bandwidth and fundamental frequency."""
+
+from conftest import run_and_check
+
+
+def test_synthetic_twins(benchmark, scale, seed):
+    art = run_and_check(benchmark, "twin", scale, seed)
+    for name in ("sor", "2dfft", "t2dfft", "seq", "hist"):
+        assert f"{name}/twin_KB_s" in art.metrics

@@ -1,0 +1,46 @@
+"""Shared benchmark configuration.
+
+Scale selection: set ``REPRO_BENCH_SCALE=full`` to run the paper's
+iteration counts (100 iterations / 100 simulated hours); the default
+scale runs shorter traces that preserve every shape criterion.
+
+Each benchmark times a full experiment reproduction once (``pedantic``
+with one round — simulating a multi-minute cluster measurement is the
+workload, not a microbenchmark), prints the reproduced tables next to
+the paper's numbers, and asserts the experiment's shape criteria.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def seed():
+    return SEED
+
+
+def run_and_check(benchmark, exp_id, scale, seed, extra_rounds=1):
+    """Benchmark one experiment, print its report, assert its checks."""
+    from repro.harness import run_experiment
+
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=(exp_id,),
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(artifact.render())
+    failed = [k for k, ok in artifact.checks.items() if not ok]
+    assert not failed, f"{exp_id} shape criteria failed: {failed}"
+    return artifact

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""AIRSHED: multi-timescale traffic of a real scientific application.
+
+The air-quality model skeleton (paper §3.2/§6.2) is periodic over
+*three* time scales — the simulation hour, the chemistry step, and the
+horizontal transport phase.  This example runs the skeleton, segments
+its bursts, and locates all three spectral peak families of Figure 11.
+
+Run:  python examples/airshed_study.py
+"""
+
+from repro.analysis import (
+    average_bandwidth,
+    binned_bandwidth,
+    find_peaks,
+    interarrival_stats,
+    power_spectrum,
+)
+from repro.core import burst_size_constancy, find_bursts
+from repro.harness import format_table
+from repro.programs import run_measured
+
+
+def main():
+    hours = 12
+    print(f"Simulating {hours} AIRSHED hours "
+          "(s=35 species, p=1024 grid points, l=4 layers, k=5 steps)...")
+    trace = run_measured("airshed", scale="default", seed=0)
+    print(f"{len(trace)} packets over {trace.duration:.0f} s\n")
+
+    print(f"Average bandwidth: {average_bandwidth(trace):.1f} KB/s "
+          "(paper: 32.7 KB/s)")
+    inter = interarrival_stats(trace)
+    print(f"Max interarrival: {inter.max:.0f} ms "
+          "(preprocessing gaps; paper: 23449 ms)\n")
+
+    # -- burst structure: 2 transposes x 5 steps per hour -----------------
+    bursts = find_bursts(trace, gap=1.0)
+    per_hour = len(bursts) / hours
+    cov = burst_size_constancy(trace, gap=1.0)
+    print(f"Bursts found: {len(bursts)} (~{per_hour:.1f}/hour; "
+          "10 transposes per hour expected)")
+    print(f"Burst size coefficient of variation: {cov:.2f} "
+          "(constant burst sizes)\n")
+
+    # -- the three spectral peak families ----------------------------------
+    spec = power_spectrum(binned_bandwidth(trace, 0.010))
+    bands = [
+        ("simulation hour", 0.005, 0.05, "~0.015 Hz"),
+        ("chemistry step", 0.1, 0.4, "~0.2 Hz"),
+        ("horizontal transport", 0.8, 8.0, "~5 Hz"),
+    ]
+    rows = []
+    for label, f0, f1, paper in bands:
+        sub = spec.band(f0, f1)
+        peaks = find_peaks(sub, k=1, min_prominence=0.0)
+        peak = peaks[0][0] if peaks else float("nan")
+        rows.append((label, f"{f0}-{f1}", round(peak, 4), paper))
+    print(
+        format_table(
+            ["Time scale", "Band (Hz)", "Measured peak (Hz)", "Paper"],
+            rows,
+            "Figure 11: three periodicities",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Parallel-program traffic vs. the classical traffic models.
+
+The paper's opening claim: the traffic of compiler-parallelized programs
+"is profoundly different from typical network traffic".  This example
+generates four classical sources — Poisson, on-off (MMPP), self-similar
+fGn (the measured character of VBR video), and a frame-rate VBR video
+source — measures two Fx kernels, and compares them on the axes that
+matter: spectral shape (flat vs. line spectrum), long-range dependence
+(Hurst), burst-size constancy, and cross-connection correlation.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.analysis import (
+    binned_bandwidth,
+    hurst_aggregated_variance,
+    power_spectrum,
+    spectral_concentration,
+    spectral_flatness,
+)
+from repro.baselines import (
+    OnOffTraffic,
+    PoissonTraffic,
+    SelfSimilarTraffic,
+    VbrVideoTraffic,
+)
+from repro.core import burst_size_constancy, connection_correlation
+from repro.harness import format_table
+from repro.programs import run_measured
+
+
+def characterize(label, trace):
+    series = binned_bandwidth(trace, 0.010)
+    spec = power_spectrum(series)
+    coarse = binned_bandwidth(trace, 0.050)
+    try:
+        hurst = hurst_aggregated_variance(coarse.values)
+    except ValueError:
+        hurst = float("nan")
+    return (
+        label,
+        round(spectral_flatness(spec), 3),
+        round(spectral_concentration(spec, k=20), 2),
+        round(hurst, 2),
+        round(burst_size_constancy(trace), 2),
+    )
+
+
+def main():
+    duration = 60.0
+    print("Generating classical sources and measuring Fx kernels...\n")
+    rows = [
+        characterize("Poisson", PoissonTraffic(rate=1500, seed=0).generate(duration)),
+        characterize("On-off (MMPP)", OnOffTraffic(seed=0).generate(duration)),
+        characterize("Self-similar fGn", SelfSimilarTraffic(seed=0).generate(duration)),
+        characterize("VBR video 30fps", VbrVideoTraffic(seed=0).generate(duration)),
+        characterize("2DFFT (Fx)", run_measured("2dfft", scale="default", seed=0)),
+        characterize("HIST (Fx)", run_measured("hist", scale="default", seed=0)),
+    ]
+    print(
+        format_table(
+            ["Source", "Spectral flatness", "Top-20 power frac",
+             "Hurst", "Burst CoV"],
+            rows,
+            "Traffic character",
+        )
+    )
+    hist_trace = run_measured("hist", scale="default", seed=0)
+    rho = connection_correlation(hist_trace)
+    print(f"\nHIST cross-connection correlation: {rho:.2f} "
+          "(synchronized phases -> correlated connections; a Poisson\n"
+          "source's connections would be independent)")
+    print(
+        "\nReading the table:\n"
+        " * Poisson is spectrally flat; the Fx kernels are line spectra\n"
+        "   (low flatness, high top-20 concentration).\n"
+        " * The media-like sources keep Hurst well above 0.5 (long-range\n"
+        "   dependence); the Fx kernels do not - their variability is\n"
+        "   periodic, not fractal.\n"
+        " * HIST's burst sizes are nearly constant (CoV ~ 0.1), known at\n"
+        "   compile time - the basis of the paper's QoS proposal."
+    )
+
+
+if __name__ == "__main__":
+    main()

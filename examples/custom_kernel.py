@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Writing and measuring your own SPMD program.
+
+Everything the six paper programs use is public API: subclass
+:class:`FxProgram`, interleave ``ctx.compute`` with the collectives of
+:mod:`repro.fx`, and run it through the measurement harness.  This
+example builds a ring-pipeline kernel (a "shift" pattern — the example
+the paper's QoS section reasons about), measures it, and checks its
+periodicity.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import random
+
+from repro.analysis import (
+    average_bandwidth,
+    binned_bandwidth,
+    fundamental_frequency,
+    packet_size_stats,
+    power_spectrum,
+)
+from repro.core import Network, characterize_program
+from repro.fx import FxCluster, FxProgram, FxRuntime, Pattern, WorkModel
+from repro.harness import format_table
+
+
+class RingShift(FxProgram):
+    """Each rank computes, then shifts a block to its right neighbour.
+
+    The paper's §7.3 example: "each processor generates periodic bursts
+    along one of its connections (a shift pattern)".
+    """
+
+    name = "ringshift"
+    pattern = Pattern.NEIGHBOR  # nearest in spirit among the figure-1 set
+
+    def __init__(self, block_bytes: int = 65536, work: float = 400_000.0):
+        self.block_bytes = block_bytes
+        self.work = work
+
+    def rank_body(self, ctx):
+        right = (ctx.rank + 1) % ctx.nprocs
+        left = (ctx.rank - 1) % ctx.nprocs
+        yield ctx.compute(self.work)
+        yield from ctx.send(right, self.block_bytes, tag=0)
+        yield ctx.recv(left, tag=0)
+
+    # QoS metadata
+    def local_work(self, P: int) -> float:
+        return self.work
+
+    def burst_bytes(self, P: int) -> int:
+        return self.block_bytes
+
+
+def main():
+    program = RingShift()
+    print("Measuring the custom ring-shift kernel (P=4, 64 KB blocks)...")
+
+    cluster = FxCluster(n_machines=5, seed=0)
+    work_model = WorkModel(rate=1e6, jitter=0.01, rng=random.Random(0))
+    runtime = FxRuntime(cluster, nprocs=4, work_model=work_model)
+    trace = runtime.execute(program, iterations=30)
+
+    size = packet_size_stats(trace)
+    print(
+        format_table(
+            ["Metric", "Value"],
+            [
+                ("packets", len(trace)),
+                ("duration (s)", round(trace.duration, 1)),
+                ("bandwidth (KB/s)", round(average_bandwidth(trace), 1)),
+                ("packet sizes (B)", f"{size.min:.0f}..{size.max:.0f}"),
+            ],
+            "Measurement",
+        )
+    )
+
+    spec = power_spectrum(binned_bandwidth(trace, 0.010))
+    f0 = fundamental_frequency(spec)
+    # period ~ 0.4 s compute + ~0.22 s for four 64 KB blocks on the
+    # shared wire -> fundamental around 1.6 Hz
+    print(f"\nFundamental: {f0:.2f} Hz (expected ~1.6 Hz)")
+
+    # the program's own QoS characterization, negotiated
+    char = characterize_program(program, work_rate=1e6)
+    result = Network(capacity=1.25e6).negotiate(char, candidates=(2, 4, 8, 16))
+    print(f"Network suggests P = {result.nprocs} "
+          f"(t_bi = {result.chosen.burst_interval * 1e3:.1f} ms)")
+
+
+if __name__ == "__main__":
+    main()

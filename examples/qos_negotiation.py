@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""QoS negotiation (paper §7.3): the network picks your processor count.
+
+A SPMD program characterizes its traffic as [l(), b(), c]; the network,
+knowing its capacity and commitments, returns the P that minimizes the
+burst interval t_bi = l(P) + rounds * b(P)/B.  This example negotiates
+for every kernel, then shows how admitting a bandwidth-hungry video
+stream changes the answers.
+
+Run:  python examples/qos_negotiation.py
+"""
+
+from repro.core import Network, characterize_program
+from repro.harness import format_table
+from repro.programs import CALIBRATIONS, KERNELS, make_program
+
+CANDIDATES = (2, 4, 8, 16, 32)
+
+
+def negotiate_all(net, title):
+    rows = []
+    for name in KERNELS:
+        program = make_program(name)
+        char = characterize_program(program, CALIBRATIONS[name].work_rate)
+        result = net.negotiate(char, CANDIDATES)
+        best = result.chosen
+        rows.append(
+            (
+                name.upper(),
+                str(char.pattern),
+                best.nprocs,
+                round(best.burst_bandwidth / 1024, 1),
+                round(best.burst_interval * 1e3, 1),
+            )
+        )
+    print(
+        format_table(
+            ["Program", "Pattern", "Chosen P", "B (KB/s)", "t_bi (ms)"],
+            rows,
+            title,
+        )
+    )
+    print()
+
+
+def main():
+    print("=== Negotiation on an idle 10 Mb/s Ethernet ===\n")
+    net = Network(capacity=1.25e6)
+    negotiate_all(net, "Idle network")
+
+    print("=== After admitting an 800 KB/s video stream ===\n")
+    busy = Network(capacity=1.25e6)
+    busy.commit("vbr-video", 800e3)
+    negotiate_all(busy, "Congested network (800 KB/s committed)")
+
+    # -- the trade-off curve for one program -----------------------------
+    program = make_program("2dfft")
+    char = characterize_program(program, CALIBRATIONS["2dfft"].work_rate)
+    result = Network(capacity=1.25e6).negotiate(char, CANDIDATES)
+    rows = [
+        (
+            p.nprocs,
+            p.active_connections,
+            round(p.burst_bandwidth / 1024, 1),
+            round(p.burst_length * 1e3, 2),
+            round(p.burst_interval * 1e3, 1),
+            "<- chosen" if p.nprocs == result.nprocs else "",
+        )
+        for p in result.curve
+    ]
+    print(
+        format_table(
+            ["P", "Active conns", "B (KB/s)", "t_b (ms)", "t_bi (ms)", ""],
+            rows,
+            "2DFFT trade-off: compute shrinks with P, contention grows",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro: reproduction of "The Measured Network Traffic of
+Compiler-Parallelized Programs" (Dinda, Garcia, Leung; CMU-CS-98-144 /
+ICPP 2001).
+
+Subpackages (bottom-up):
+
+* :mod:`repro.des` — deterministic discrete-event simulation engine
+* :mod:`repro.net` — CSMA/CD shared Ethernet, NICs, frames
+* :mod:`repro.transport` — TCP-lite and UDP-lite
+* :mod:`repro.pvm` — PVM message layer, routes, daemons
+* :mod:`repro.fx` — Fx SPMD runtime and communication patterns
+* :mod:`repro.programs` — the six measured programs, calibrated
+* :mod:`repro.capture` — promiscuous packet tracing
+* :mod:`repro.analysis` — statistics, bandwidth, spectra
+* :mod:`repro.core` — spectral traffic models, generation, QoS (the
+  paper's contribution)
+* :mod:`repro.baselines` — Poisson / on-off / self-similar / VBR video
+* :mod:`repro.harness` — one experiment per paper table and figure
+
+Entry points: ``repro.programs.run_measured`` to reproduce a
+measurement, ``repro.harness.run_experiment`` to reproduce a figure,
+``python -m repro`` for the CLI.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,129 @@
+"""Command-line interface: run and export paper experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig7 [--scale default|full|smoke] [--seed N]
+                             [--export DIR]
+    python -m repro all [--scale ...] [--seed N] [--export DIR]
+    python -m repro trace 2dfft --out trace.npz [--scale ...] [--text]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import ABLATIONS, EXPERIMENTS, export_artifact
+
+ALL_RUNNERS = {**EXPERIMENTS, **ABLATIONS}
+
+
+def _cmd_list(args) -> int:
+    width = max(len(k) for k in ALL_RUNNERS)
+    for exp_id, fn in ALL_RUNNERS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{exp_id.ljust(width)}  {doc}")
+    return 0
+
+
+def _run_one(exp_id: str, args) -> bool:
+    artifact = ALL_RUNNERS[exp_id](scale=args.scale, seed=args.seed)
+    print(artifact.render())
+    print()
+    if getattr(args, "plot", False) and artifact.series:
+        from .harness import render_series
+
+        print(render_series(artifact.series))
+    if args.export:
+        root = export_artifact(artifact, args.export)
+        print(f"[exported to {root}]")
+    return artifact.all_checks_pass
+
+
+def _cmd_run(args) -> int:
+    if args.experiment not in ALL_RUNNERS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"known: {', '.join(ALL_RUNNERS)}", file=sys.stderr)
+        return 2
+    ok = _run_one(args.experiment, args)
+    return 0 if ok else 1
+
+
+def _cmd_all(args) -> int:
+    failures = []
+    runners = ALL_RUNNERS if args.ablations else EXPERIMENTS
+    for exp_id in runners:
+        if not _run_one(exp_id, args):
+            failures.append(exp_id)
+        print("=" * 72)
+    if failures:
+        print(f"shape criteria FAILED for: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("all shape criteria pass")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .capture import save_npz, save_text
+    from .programs import PROGRAMS, run_measured
+
+    if args.program not in PROGRAMS:
+        print(f"unknown program {args.program!r}; known: {', '.join(PROGRAMS)}",
+              file=sys.stderr)
+        return 2
+    trace = run_measured(args.program, scale=args.scale, seed=args.seed)
+    if args.text:
+        save_text(trace, args.out)
+    else:
+        save_npz(trace, args.out)
+    print(f"{args.program}: {len(trace)} packets over {trace.duration:.1f} s "
+          f"-> {args.out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'The Measured Network Traffic of "
+                    "Compiler-Parallelized Programs'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
+
+    def add_common(p):
+        p.add_argument("--scale", default="default",
+                       choices=["smoke", "default", "full"])
+        p.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment")
+    add_common(p_run)
+    p_run.add_argument("--export", metavar="DIR",
+                       help="export tables/series under DIR")
+    p_run.add_argument("--plot", action="store_true",
+                       help="render the figure's series as ASCII plots")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    add_common(p_all)
+    p_all.add_argument("--export", metavar="DIR")
+    p_all.add_argument("--ablations", action="store_true",
+                       help="include the ablation studies")
+    p_all.set_defaults(fn=_cmd_all)
+
+    p_tr = sub.add_parser("trace", help="capture one program's packet trace")
+    p_tr.add_argument("program")
+    add_common(p_tr)
+    p_tr.add_argument("--out", required=True, help="output file (.npz or text)")
+    p_tr.add_argument("--text", action="store_true",
+                      help="write tcpdump-style text instead of npz")
+    p_tr.set_defaults(fn=_cmd_trace)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Trace analysis: statistics, bandwidth estimators, spectra, modality."""
+
+from .connections import active_connections, connection_table, traffic_matrix
+from .bandwidth import (
+    BandwidthSeries,
+    average_bandwidth,
+    binned_bandwidth,
+    sliding_window_bandwidth,
+)
+from .hurst import hurst_aggregated_variance, hurst_rs
+from .modality import is_trimodal, mode_fractions, size_modes
+from .periodicity import autocorrelation, dominant_period, periodicity_strength
+from .spectrogram import Spectrogram, spectrogram
+from .spectral import (
+    Spectrum,
+    find_peaks,
+    fundamental_frequency,
+    harmonic_energy_ratio,
+    power_spectrum,
+    spectral_concentration,
+    spectral_flatness,
+)
+from .stats import (
+    SummaryStats,
+    interarrival_stats,
+    packet_size_stats,
+    size_histogram,
+)
+
+__all__ = [
+    "SummaryStats",
+    "packet_size_stats",
+    "interarrival_stats",
+    "size_histogram",
+    "BandwidthSeries",
+    "average_bandwidth",
+    "sliding_window_bandwidth",
+    "binned_bandwidth",
+    "Spectrum",
+    "power_spectrum",
+    "find_peaks",
+    "fundamental_frequency",
+    "spectral_flatness",
+    "spectral_concentration",
+    "harmonic_energy_ratio",
+    "size_modes",
+    "is_trimodal",
+    "mode_fractions",
+    "hurst_aggregated_variance",
+    "hurst_rs",
+    "autocorrelation",
+    "dominant_period",
+    "periodicity_strength",
+    "Spectrogram",
+    "spectrogram",
+    "traffic_matrix",
+    "connection_table",
+    "active_connections",
+]

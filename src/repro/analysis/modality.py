@@ -1,0 +1,70 @@
+"""Packet-size modality detection.
+
+The paper remarks that for several kernels (2DFFT, HIST, SOR) the packet
+size distribution is *trimodal*: full 1518-byte segments, one remainder
+size, and 58-byte ACKs.  :func:`size_modes` finds the distinct modes of a
+size distribution; :func:`is_trimodal` is the paper's check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..capture import PacketTrace
+
+__all__ = ["size_modes", "is_trimodal", "mode_fractions"]
+
+
+def size_modes(
+    trace: PacketTrace,
+    min_fraction: float = 0.02,
+    merge_within: int = 48,
+) -> List[Tuple[int, int]]:
+    """Distinct packet-size modes as (size, count), by descending count.
+
+    Exact sizes carrying at least ``min_fraction`` of the packets are
+    kept; sizes closer than ``merge_within`` bytes merge into the larger
+    mode (TCP remainders jitter by a few header bytes).
+    """
+    if len(trace) == 0:
+        return []
+    sizes, counts = np.unique(trace.sizes, return_counts=True)
+    threshold = max(1, int(min_fraction * len(trace)))
+    keep = counts >= threshold
+    sizes, counts = sizes[keep], counts[keep]
+    order = np.argsort(counts)[::-1]
+    modes: List[Tuple[int, int]] = []
+    for i in order:
+        s, c = int(sizes[i]), int(counts[i])
+        merged = False
+        for j, (ms, mc) in enumerate(modes):
+            if abs(ms - s) <= merge_within:
+                modes[j] = (ms, mc + c)
+                merged = True
+                break
+        if not merged:
+            modes.append((s, c))
+    modes.sort(key=lambda m: m[1], reverse=True)
+    return modes
+
+
+def is_trimodal(trace: PacketTrace, min_fraction: float = 0.02) -> bool:
+    """True when the size distribution has exactly three modes and they
+    look like (ACK, remainder, full segment)."""
+    modes = size_modes(trace, min_fraction=min_fraction)
+    if len(modes) != 3:
+        return False
+    sizes = sorted(s for s, _ in modes)
+    has_ack = sizes[0] <= 90
+    has_full = sizes[2] >= 1400
+    has_mid = 90 < sizes[1] < 1400
+    return has_ack and has_mid and has_full
+
+
+def mode_fractions(trace: PacketTrace, min_fraction: float = 0.02):
+    """The modes of :func:`size_modes` with packet-count fractions."""
+    modes = size_modes(trace, min_fraction=min_fraction)
+    n = max(1, len(trace))
+    return [(s, c / n) for s, c in modes]

@@ -1,0 +1,80 @@
+"""Short-time spectral analysis: spectrograms of bandwidth signals.
+
+A single whole-trace periodogram (paper Figures 7/11) shows *which*
+periodicities exist; a spectrogram shows *when* — e.g. AIRSHED's
+transport-scale comb appears only inside each hour's bursty window,
+while the hour-scale line persists.  Used by the AIRSHED study example
+and the multi-scale tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .bandwidth import BandwidthSeries
+
+__all__ = ["Spectrogram", "spectrogram"]
+
+
+@dataclass
+class Spectrogram:
+    """A time-frequency power map."""
+
+    times: np.ndarray   # window centres (s)
+    freqs: np.ndarray   # Hz
+    power: np.ndarray   # shape (len(freqs), len(times))
+
+    def band_power(self, f0: float, f1: float) -> np.ndarray:
+        """Total power in [f0, f1) per window — one time series."""
+        mask = (self.freqs >= f0) & (self.freqs < f1)
+        return self.power[mask].sum(axis=0)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (
+            f"<Spectrogram {len(self.freqs)} freqs x {len(self.times)} windows>"
+        )
+
+
+def spectrogram(
+    series: BandwidthSeries,
+    window: float,
+    overlap: float = 0.5,
+    detrend: bool = True,
+) -> Spectrogram:
+    """Sliding-window periodograms of a bandwidth series.
+
+    Parameters
+    ----------
+    window:
+        Window length in seconds.
+    overlap:
+        Fractional overlap between consecutive windows, in [0, 1).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if not 0 <= overlap < 1:
+        raise ValueError(f"overlap must be in [0,1), got {overlap}")
+    x = series.values.astype(np.float64)
+    w = int(round(window / series.dt))
+    if w < 4:
+        raise ValueError(f"window of {w} samples is too short")
+    if w > len(x):
+        raise ValueError(
+            f"window ({w} samples) longer than the series ({len(x)})"
+        )
+    step = max(1, int(round(w * (1 - overlap))))
+    starts = np.arange(0, len(x) - w + 1, step)
+    freqs = np.fft.rfftfreq(w, d=series.dt)
+    power = np.empty((len(freqs), len(starts)))
+    hann = np.hanning(w)
+    for j, s0 in enumerate(starts):
+        seg = x[s0:s0 + w]
+        if detrend:
+            seg = seg - seg.mean()
+        spec = np.fft.rfft(seg * hann)
+        power[:, j] = (np.abs(spec) ** 2) / w
+    times = series.t0 + (starts + w / 2) * series.dt
+    return Spectrogram(times=times, freqs=freqs, power=power)

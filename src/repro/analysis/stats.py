@@ -1,0 +1,77 @@
+"""Packet-size and interarrival statistics (paper Figures 3, 4, 8, 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..capture import PacketTrace
+
+__all__ = [
+    "SummaryStats",
+    "packet_size_stats",
+    "interarrival_stats",
+    "size_histogram",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Min / max / average / standard deviation, as the paper tabulates."""
+
+    min: float
+    max: float
+    avg: float
+    sd: float
+    n: int
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "SummaryStats":
+        if len(values) == 0:
+            return cls(float("nan"), float("nan"), float("nan"), float("nan"), 0)
+        v = np.asarray(values, dtype=np.float64)
+        return cls(
+            min=float(v.min()),
+            max=float(v.max()),
+            avg=float(v.mean()),
+            sd=float(v.std()),
+            n=len(v),
+        )
+
+    def row(self, ndigits: int = 1) -> tuple:
+        """(min, max, avg, sd) rounded for table rendering."""
+        return (
+            round(self.min, ndigits),
+            round(self.max, ndigits),
+            round(self.avg, ndigits),
+            round(self.sd, ndigits),
+        )
+
+
+def packet_size_stats(trace: PacketTrace) -> SummaryStats:
+    """Statistics over measured packet sizes in bytes (Figures 3 and 8)."""
+    return SummaryStats.of(trace.sizes)
+
+
+def interarrival_stats(trace: PacketTrace) -> SummaryStats:
+    """Statistics over packet interarrival times in **milliseconds**
+    (Figures 4 and 9).  Requires at least two packets."""
+    if len(trace) < 2:
+        return SummaryStats.of(np.empty(0))
+    deltas_ms = np.diff(trace.times) * 1e3
+    return SummaryStats.of(deltas_ms)
+
+
+def size_histogram(
+    trace: PacketTrace,
+    bin_width: int = 64,
+    max_size: Optional[int] = None,
+) -> tuple:
+    """Histogram of packet sizes: (bin_edges, counts)."""
+    if max_size is None:
+        max_size = int(trace.sizes.max()) if len(trace) else bin_width
+    edges = np.arange(0, max_size + bin_width, bin_width)
+    counts, edges = np.histogram(trace.sizes, bins=edges)
+    return edges, counts

@@ -1,0 +1,14 @@
+"""Baseline traffic models the paper contrasts Fx traffic against."""
+
+from .onoff import OnOffTraffic
+from .poisson import PoissonTraffic
+from .selfsimilar import SelfSimilarTraffic, fgn
+from .video import VbrVideoTraffic
+
+__all__ = [
+    "PoissonTraffic",
+    "OnOffTraffic",
+    "SelfSimilarTraffic",
+    "VbrVideoTraffic",
+    "fgn",
+]

@@ -1,0 +1,27 @@
+"""Packet capture: promiscuous tracing and trace persistence."""
+
+from .replay import TraceReplayer, replay_trace
+from .io import from_text, load_npz, load_text, save_npz, save_text, to_text
+from .trace import (
+    KIND_TCP_ACK,
+    KIND_TCP_DATA,
+    KIND_UDP,
+    PacketTrace,
+    TraceRecorder,
+)
+
+__all__ = [
+    "PacketTrace",
+    "TraceRecorder",
+    "KIND_TCP_DATA",
+    "KIND_TCP_ACK",
+    "KIND_UDP",
+    "TraceReplayer",
+    "replay_trace",
+    "save_npz",
+    "load_npz",
+    "to_text",
+    "from_text",
+    "save_text",
+    "load_text",
+]

@@ -1,0 +1,200 @@
+"""Packet traces: the tcpdump of the simulated LAN.
+
+A :class:`TraceRecorder` listens promiscuously on the bus and records,
+for every frame, the fields the paper's methodology kept: timestamp,
+measured size (data + TCP/UDP header + IP header + Ethernet header and
+trailer), protocol, source, and destination.  The finished
+:class:`PacketTrace` is a NumPy structured array, so every analysis in
+:mod:`repro.analysis` is vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..net import EthernetBus, EthernetFrame
+from ..transport import PROTO_TCP, PROTO_UDP, TcpSegment, UdpDatagram
+
+__all__ = ["PacketTrace", "TraceRecorder", "KIND_TCP_DATA", "KIND_TCP_ACK", "KIND_UDP"]
+
+#: Packet kind codes (finer than IP protocol: ACKs are their own class).
+KIND_TCP_DATA = 0
+KIND_TCP_ACK = 1
+KIND_UDP = 2
+KIND_OTHER = 3
+
+TRACE_DTYPE = np.dtype(
+    [
+        ("time", np.float64),
+        ("size", np.uint32),
+        ("src", np.int32),
+        ("dst", np.int32),
+        ("proto", np.uint8),
+        ("kind", np.uint8),
+    ]
+)
+
+
+class PacketTrace:
+    """An immutable packet trace backed by a structured array."""
+
+    def __init__(self, data: np.ndarray):
+        if data.dtype != TRACE_DTYPE:
+            raise ValueError(f"expected dtype {TRACE_DTYPE}, got {data.dtype}")
+        self._data = data
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Iterable[Tuple]) -> "PacketTrace":
+        """Build from an iterable of (time, size, src, dst, proto, kind)."""
+        arr = np.array(list(rows), dtype=TRACE_DTYPE)
+        return cls(arr)
+
+    @classmethod
+    def empty(cls) -> "PacketTrace":
+        return cls(np.empty(0, dtype=TRACE_DTYPE))
+
+    @classmethod
+    def concat(cls, traces) -> "PacketTrace":
+        """Merge traces into one, sorted by timestamp (stable)."""
+        traces = list(traces)
+        if not traces:
+            return cls.empty()
+        data = np.concatenate([t.data for t in traces])
+        order = np.argsort(data["time"], kind="stable")
+        return cls(data[order])
+
+    # -- columns -------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._data["time"]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._data["size"]
+
+    @property
+    def srcs(self) -> np.ndarray:
+        return self._data["src"]
+
+    @property
+    def dsts(self) -> np.ndarray:
+        return self._data["dst"]
+
+    @property
+    def protos(self) -> np.ndarray:
+        return self._data["proto"]
+
+    @property
+    def kinds(self) -> np.ndarray:
+        return self._data["kind"]
+
+    # -- scalars --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between first and last packet (0 for < 2 packets)."""
+        if len(self._data) < 2:
+            return 0.0
+        return float(self._data["time"][-1] - self._data["time"][0])
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self._data["size"].sum())
+
+    # -- filters ---------------------------------------------------------------
+    def _where(self, mask: np.ndarray) -> "PacketTrace":
+        return PacketTrace(self._data[mask])
+
+    def connection(self, src: int, dst: int) -> "PacketTrace":
+        """The paper's *connection*: a simplex machine-to-machine channel.
+
+        All packets from machine ``src`` to machine ``dst``, regardless of
+        port or protocol — message TCP, daemon UDP, and the ACKs this
+        machine sends for the symmetric channel alike.
+        """
+        return self._where((self.srcs == src) & (self.dsts == dst))
+
+    def between(self, t0: float, t1: float) -> "PacketTrace":
+        """Packets with t0 <= time < t1."""
+        t = self.times
+        return self._where((t >= t0) & (t < t1))
+
+    def protocol(self, proto: int) -> "PacketTrace":
+        return self._where(self.protos == proto)
+
+    def subset(self, hosts) -> "PacketTrace":
+        """Packets whose source *and* destination are both in ``hosts``.
+
+        Isolates one application's traffic when several programs share
+        the LAN on disjoint machine sets.
+        """
+        hosts = np.asarray(sorted(hosts))
+        return self._where(
+            np.isin(self.srcs, hosts) & np.isin(self.dsts, hosts)
+        )
+
+    def kind(self, kind: int) -> "PacketTrace":
+        return self._where(self.kinds == kind)
+
+    def hosts(self) -> np.ndarray:
+        """Sorted unique machine ids appearing in the trace."""
+        return np.unique(np.concatenate([self.srcs, self.dsts]))
+
+    def connections(self):
+        """All (src, dst) pairs that carried at least one packet."""
+        pairs = np.unique(
+            np.stack([self.srcs, self.dsts], axis=1), axis=0
+        )
+        return [tuple(int(x) for x in row) for row in pairs]
+
+    def shifted(self, t0: float) -> "PacketTrace":
+        """A copy with timestamps rebased so the trace starts at ``t0``."""
+        data = self._data.copy()
+        if len(data):
+            data["time"] += t0 - data["time"][0]
+        return PacketTrace(data)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"<PacketTrace {len(self)} packets over {self.duration:.3f}s>"
+
+
+class TraceRecorder:
+    """Promiscuous capture of every frame delivered on a bus."""
+
+    def __init__(self, bus: EthernetBus):
+        self._rows: list = []
+        bus.add_listener(self._on_frame)
+
+    def _on_frame(self, frame: EthernetFrame, now: float) -> None:
+        pdu = frame.payload
+        if isinstance(pdu, TcpSegment):
+            proto = PROTO_TCP
+            kind = KIND_TCP_ACK if pdu.is_ack else KIND_TCP_DATA
+        elif isinstance(pdu, UdpDatagram):
+            proto = PROTO_UDP
+            kind = KIND_UDP
+        else:
+            proto = 0
+            kind = KIND_OTHER
+        self._rows.append((now, frame.size, frame.src, frame.dst, proto, kind))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def trace(self) -> PacketTrace:
+        """Snapshot the capture as an immutable trace."""
+        if not self._rows:
+            return PacketTrace.empty()
+        return PacketTrace(np.array(self._rows, dtype=TRACE_DTYPE))
+
+    def clear(self) -> None:
+        self._rows.clear()

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: spectral traffic characterization,
+analytic model generation, and the QoS negotiation model."""
+
+from .compare import (
+    burst_size_constancy,
+    connection_correlation,
+    find_bursts,
+    series_nrmse,
+)
+from .generator import SpectralTrafficGenerator
+from .qos import (
+    NegotiationPoint,
+    NegotiationResult,
+    Network,
+    TrafficCharacterization,
+    characterize_program,
+    concurrent_connections,
+)
+from .spectral_model import SpectralModel, Spike
+
+__all__ = [
+    "SpectralModel",
+    "Spike",
+    "SpectralTrafficGenerator",
+    "TrafficCharacterization",
+    "Network",
+    "NegotiationPoint",
+    "NegotiationResult",
+    "characterize_program",
+    "concurrent_connections",
+    "series_nrmse",
+    "connection_correlation",
+    "find_bursts",
+    "burst_size_constancy",
+]

@@ -1,0 +1,251 @@
+"""The QoS negotiation model of paper §7.3.
+
+A SPMD program characterizes its traffic with three parameters
+``[l(), b(), c]``:
+
+* ``c`` — the communication pattern,
+* ``l(P)`` — local computation time per processor per phase,
+* ``b(P)`` — the burst (message) size along each connection.
+
+Unlike media streams, the burst size is known a priori (at Fx compile
+time) but the **period between bursts depends on the bandwidth the
+network can commit**: with burst bandwidth B per active connection,
+
+    t_b  = N / B                      (burst length)
+    t_bi = W / P + N / B              (burst interval, paper §7.3)
+
+The network, knowing its capacity and existing commitments, is allowed
+to answer with the *number of processors* P the program should run on —
+the co-optimization the paper proposes.  :meth:`Network.negotiate`
+implements it: for each candidate P it computes the bandwidth the
+network can commit per simultaneously-active connection of pattern c and
+picks the P minimizing t_bi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..fx import FxProgram, Pattern, pattern_rounds
+
+__all__ = [
+    "TrafficCharacterization",
+    "NegotiationPoint",
+    "NegotiationResult",
+    "Network",
+    "characterize_program",
+    "concurrent_connections",
+]
+
+
+def concurrent_connections(pattern: Pattern, P: int) -> int:
+    """Maximum simplex connections active at once during a phase.
+
+    The synchronous schedules of :mod:`repro.fx.patterns` send one round
+    at a time; the largest round bounds the contention the network must
+    plan for (all-to-all: P; neighbor: 2(P-1); partition: P/2;
+    broadcast/tree: the widest round).
+    """
+    return max(len(r) for r in pattern_rounds(pattern, P))
+
+
+def _rounds_per_phase(pattern: Pattern, P: int) -> int:
+    return len(pattern_rounds(pattern, P))
+
+
+@dataclass(frozen=True)
+class TrafficCharacterization:
+    """The paper's ``[l(), b(), c]`` triple.
+
+    ``l(P)`` is in seconds of local compute per phase; ``b(P)`` in bytes
+    per connection per phase; ``c`` is the pattern.
+    """
+
+    name: str
+    pattern: Pattern
+    local_time: Callable[[int], float]   # l: P -> seconds
+    burst_bytes: Callable[[int], float]  # b: P -> bytes
+
+    def burst_interval(self, P: int, burst_bandwidth: float) -> float:
+        """t_bi = l(P) + rounds * b(P)/B for the given per-connection B."""
+        if burst_bandwidth <= 0:
+            return float("inf")
+        rounds = _rounds_per_phase(self.pattern, P)
+        return self.local_time(P) + rounds * self.burst_bytes(P) / burst_bandwidth
+
+    def burst_length(self, P: int, burst_bandwidth: float) -> float:
+        """t_b = b(P) / B: the time one connection's burst occupies."""
+        if burst_bandwidth <= 0:
+            return float("inf")
+        return self.burst_bytes(P) / burst_bandwidth
+
+
+def characterize_program(
+    program: FxProgram,
+    work_rate: float,
+    name: Optional[str] = None,
+) -> TrafficCharacterization:
+    """Derive ``[l(), b(), c]`` from an :class:`FxProgram`'s metadata."""
+    if program.pattern is None:
+        raise ValueError(f"program {program.name!r} declares no pattern")
+    return TrafficCharacterization(
+        name=name or program.name,
+        pattern=program.pattern,
+        local_time=lambda P: program.local_work(P) / work_rate,
+        burst_bytes=lambda P: float(program.burst_bytes(P)),
+    )
+
+
+@dataclass(frozen=True)
+class NegotiationPoint:
+    """One candidate P evaluated during negotiation."""
+
+    nprocs: int
+    burst_bandwidth: float   # B committed per active connection (bytes/s)
+    active_connections: int
+    burst_length: float      # t_b
+    burst_interval: float    # t_bi
+    mean_bandwidth: float = 0.0  # program's long-run aggregate load (bytes/s)
+
+
+@dataclass
+class NegotiationResult:
+    """The network's answer: the chosen P plus the full trade-off curve."""
+
+    chosen: NegotiationPoint
+    curve: List[NegotiationPoint]
+
+    @property
+    def nprocs(self) -> int:
+        return self.chosen.nprocs
+
+
+class Network:
+    """A network with finite capacity and standing commitments.
+
+    Parameters
+    ----------
+    capacity:
+        Deliverable bandwidth in bytes/s (1.25 MB/s for the paper's
+        Ethernet, before MAC overheads).
+    efficiency:
+        Fraction of capacity usable for payload+headers after MAC
+        overheads and contention.
+    """
+
+    def __init__(self, capacity: float = 1.25e6, efficiency: float = 0.9):
+        if capacity <= 0 or not 0 < efficiency <= 1:
+            raise ValueError("capacity must be > 0 and efficiency in (0,1]")
+        self.capacity = capacity
+        self.efficiency = efficiency
+        self._committed = 0.0
+        self._commitments: Dict[str, float] = {}
+
+    @property
+    def available(self) -> float:
+        """Uncommitted deliverable bandwidth (bytes/s)."""
+        return max(0.0, self.capacity * self.efficiency - self._committed)
+
+    @property
+    def committed(self) -> float:
+        return self._committed
+
+    # -- admission ----------------------------------------------------------
+    def commit(self, name: str, bandwidth: float) -> None:
+        """Reserve aggregate bandwidth for an admitted application."""
+        if bandwidth < 0:
+            raise ValueError("negative commitment")
+        if bandwidth > self.available:
+            raise ValueError(
+                f"cannot commit {bandwidth:.0f} B/s; only "
+                f"{self.available:.0f} available"
+            )
+        if name in self._commitments:
+            raise ValueError(f"{name!r} already admitted")
+        self._commitments[name] = bandwidth
+        self._committed += bandwidth
+
+    def release(self, name: str) -> None:
+        """Release a prior commitment."""
+        bw = self._commitments.pop(name, None)
+        if bw is None:
+            raise KeyError(f"no commitment named {name!r}")
+        self._committed -= bw
+
+    # -- negotiation ---------------------------------------------------------
+    def burst_bandwidth_for(self, pattern: Pattern, P: int) -> float:
+        """B: per-active-connection bandwidth the network can commit."""
+        n_active = concurrent_connections(pattern, P)
+        return self.available / n_active if n_active else 0.0
+
+    def negotiate(
+        self,
+        characterization: TrafficCharacterization,
+        candidates: Sequence[int] = (2, 4, 8, 16),
+    ) -> NegotiationResult:
+        """Return the processor count minimizing the burst interval.
+
+        For each candidate P the network offers
+        ``B = available / concurrent_connections(c, P)`` and evaluates
+        ``t_bi(P) = l(P) + rounds * b(P)/B``; the minimizing point wins.
+        """
+        if not candidates:
+            raise ValueError("no candidate processor counts")
+        curve: List[NegotiationPoint] = []
+        for P in candidates:
+            if P < 2:
+                raise ValueError(f"candidate P must be >= 2, got {P}")
+            B = self.burst_bandwidth_for(characterization.pattern, P)
+            t_bi = characterization.burst_interval(P, B)
+            rounds = _rounds_per_phase(characterization.pattern, P)
+            n_active = concurrent_connections(characterization.pattern, P)
+            # Long-run load: every active connection moves b(P) bytes per
+            # round, `rounds` rounds per burst interval.
+            phase_bytes = n_active * rounds * characterization.burst_bytes(P)
+            mean_bw = phase_bytes / t_bi if 0 < t_bi < float("inf") else 0.0
+            point = NegotiationPoint(
+                nprocs=P,
+                burst_bandwidth=B,
+                active_connections=n_active,
+                burst_length=characterization.burst_length(P, B),
+                burst_interval=t_bi,
+                mean_bandwidth=mean_bw,
+            )
+            curve.append(point)
+        chosen = min(curve, key=lambda p: p.burst_interval)
+        return NegotiationResult(chosen=chosen, curve=curve)
+
+    def admit(
+        self,
+        characterization: TrafficCharacterization,
+        candidates: Sequence[int] = (2, 4, 8, 16),
+        min_burst_bandwidth: float = 0.0,
+    ) -> NegotiationResult:
+        """Negotiate, then *commit* the chosen point's mean bandwidth.
+
+        The sequential-admission workflow the paper's §7.3 implies: each
+        admitted program reduces what the network can offer the next.
+
+        A purely communication-bound program would "fit" at any crawl
+        (it consumes exactly what it is offered), so admission enforces
+        a service floor: candidates whose per-connection burst bandwidth
+        falls below ``min_burst_bandwidth`` are rejected.  Raises
+        ``ValueError`` when no candidate is feasible.
+        """
+        result = self.negotiate(characterization, candidates)
+        feasible = [
+            p for p in result.curve
+            if p.mean_bandwidth <= self.available
+            and p.burst_interval < float("inf")
+            and p.burst_bandwidth >= min_burst_bandwidth
+        ]
+        if not feasible:
+            raise ValueError(
+                f"cannot admit {characterization.name!r}: no candidate fits "
+                f"in {self.available:.0f} B/s with burst bandwidth >= "
+                f"{min_burst_bandwidth:.0f} B/s"
+            )
+        chosen = min(feasible, key=lambda p: p.burst_interval)
+        self.commit(characterization.name, chosen.mean_bandwidth)
+        return NegotiationResult(chosen=chosen, curve=result.curve)

@@ -1,0 +1,260 @@
+"""Analytic traffic models from power spectra (paper §7.2).
+
+The paper observes that the spectra of Fx programs are sparse and
+"spiky", so the Fourier series implied by the spectrum can be truncated
+to its strongest spikes:
+
+    x(t) = sum_k a_k exp(j k w0 t)                            (paper eq. 2)
+
+"x(t) can be approximated by choosing some number of the 'spike' a_k's
+from the spectra (those with the greatest magnitude).  As the number of
+spikes chosen increases, the approximation will converge to the actual
+signal."
+
+:class:`SpectralModel` implements exactly that: fit the DFT of a binned
+bandwidth signal, keep the mean plus the ``n_spikes`` largest-magnitude
+coefficients (with phases, which the power spectrum discards but the
+underlying transform retains), and reconstruct the instantaneous average
+bandwidth at any time.  On the fit grid the truncation error is governed
+by Parseval's theorem, so adding spikes is monotonically non-worsening —
+the convergence property the paper asserts, and one of our
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis import BandwidthSeries, binned_bandwidth
+from ..capture import PacketTrace
+
+__all__ = ["Spike", "SpectralModel"]
+
+
+@dataclass(frozen=True)
+class Spike:
+    """One retained Fourier component of the bandwidth signal."""
+
+    freq: float       # Hz
+    amplitude: float  # KB/s, peak amplitude of the cosine
+    phase: float      # radians
+
+    def evaluate(self, t: np.ndarray) -> np.ndarray:
+        return self.amplitude * np.cos(2 * np.pi * self.freq * t + self.phase)
+
+
+class SpectralModel:
+    """A truncated-Fourier model of a program's bandwidth demand.
+
+    Build with :meth:`fit` (from a binned bandwidth series) or
+    :meth:`from_trace` (straight from a packet trace).
+    """
+
+    def __init__(self, mean: float, spikes: Sequence[Spike], t0: float = 0.0,
+                 fit_duration: float = 0.0):
+        self.mean = float(mean)
+        self.spikes = sorted(spikes, key=lambda s: s.amplitude, reverse=True)
+        self.t0 = t0
+        self.fit_duration = fit_duration
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def fit(cls, series: BandwidthSeries, n_spikes: int = 20) -> "SpectralModel":
+        """Fit to a binned bandwidth signal, keeping ``n_spikes`` spikes."""
+        if n_spikes < 0:
+            raise ValueError(f"n_spikes must be >= 0, got {n_spikes}")
+        x = series.values.astype(np.float64)
+        n = len(x)
+        if n < 2:
+            raise ValueError("need at least 2 samples to fit a model")
+        mean = x.mean()
+        coeffs = np.fft.rfft(x - mean)
+        freqs = np.fft.rfftfreq(n, d=series.dt)
+        mags = np.abs(coeffs)
+        mags[0] = 0.0  # mean handled separately
+        order = np.argsort(mags)[::-1][:n_spikes]
+        spikes: List[Spike] = []
+        for idx in order:
+            if mags[idx] == 0.0:
+                continue
+            # rfft scaling: interior bins contribute 2|c|/n, the Nyquist
+            # bin (even n) contributes |c|/n.
+            factor = 1.0 if (n % 2 == 0 and idx == n // 2) else 2.0
+            spikes.append(
+                Spike(
+                    freq=float(freqs[idx]),
+                    amplitude=factor * float(mags[idx]) / n,
+                    phase=float(np.angle(coeffs[idx])),
+                )
+            )
+        return cls(mean, spikes, t0=series.t0, fit_duration=series.duration)
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: PacketTrace,
+        n_spikes: int = 20,
+        bin_width: float = 0.010,
+    ) -> "SpectralModel":
+        """Fit from a packet trace via the paper's 10 ms binning."""
+        return cls.fit(binned_bandwidth(trace, bin_width), n_spikes=n_spikes)
+
+    @classmethod
+    def fit_harmonic(
+        cls,
+        series: BandwidthSeries,
+        fundamental: Optional[float] = None,
+        n_harmonics: int = 20,
+        bins_per_harmonic: int = 2,
+        budget: Optional[int] = None,
+    ) -> "SpectralModel":
+        """Fit a *harmonic-constrained* model: spikes only near multiples
+        of the fundamental.
+
+        The paper's programs have line spectra at k*f0 (broadened over a
+        few bins by phase jitter), so instead of ranking all bins by
+        magnitude, candidates are restricted to within
+        ``bins_per_harmonic`` bins of each of the first ``n_harmonics``
+        harmonics, then the strongest ``budget`` (default
+        ``n_harmonics``) are kept.  At equal budgets this encodes the
+        program's *structure* — one period plus a comb — which is the
+        natural form for the QoS model, where the period is the
+        negotiated quantity.
+
+        ``fundamental=None`` estimates f0 by harmonic summation.
+        """
+        if n_harmonics < 1:
+            raise ValueError(f"n_harmonics must be >= 1, got {n_harmonics}")
+        if bins_per_harmonic < 0:
+            raise ValueError(f"bins_per_harmonic must be >= 0")
+        x = series.values.astype(np.float64)
+        n = len(x)
+        if n < 4:
+            raise ValueError("need at least 4 samples for a harmonic fit")
+        if budget is None:
+            budget = n_harmonics
+        mean = x.mean()
+        coeffs = np.fft.rfft(x - mean)
+        freqs = np.fft.rfftfreq(n, d=series.dt)
+        if fundamental is None:
+            from ..analysis import fundamental_frequency, power_spectrum
+
+            spec = power_spectrum(series)
+            fundamental = fundamental_frequency(spec)
+        if fundamental <= 0:
+            raise ValueError("no fundamental found; fit top-k spikes instead")
+        df = freqs[1] if len(freqs) > 1 else 0.0
+        if df == 0:
+            raise ValueError("degenerate frequency resolution")
+        candidates: set = set()
+        for h in range(1, n_harmonics + 1):
+            centre = int(round(h * fundamental / df))
+            lo = max(1, centre - bins_per_harmonic)
+            hi = min(len(coeffs), centre + bins_per_harmonic + 1)
+            candidates.update(range(lo, hi))
+        if not candidates:
+            return cls(mean, [], t0=series.t0, fit_duration=series.duration)
+        cand = np.fromiter(candidates, dtype=int)
+        mags = np.abs(coeffs[cand])
+        order = np.argsort(mags)[::-1][:budget]
+        spikes: List[Spike] = []
+        for i in order:
+            idx = int(cand[i])
+            if np.abs(coeffs[idx]) == 0:
+                continue
+            factor = 1.0 if (n % 2 == 0 and idx == n // 2) else 2.0
+            spikes.append(
+                Spike(
+                    freq=float(freqs[idx]),
+                    amplitude=factor * float(np.abs(coeffs[idx])) / n,
+                    phase=float(np.angle(coeffs[idx])),
+                )
+            )
+        return cls(mean, spikes, t0=series.t0, fit_duration=series.duration)
+
+    # -- evaluation ----------------------------------------------------------
+    @property
+    def n_spikes(self) -> int:
+        return len(self.spikes)
+
+    @property
+    def fundamental(self) -> Optional[float]:
+        """Lowest retained frequency, if any."""
+        if not self.spikes:
+            return None
+        return min(s.freq for s in self.spikes)
+
+    def reconstruct(self, times: np.ndarray, clip: bool = False) -> np.ndarray:
+        """Instantaneous average bandwidth (KB/s) at ``times``.
+
+        ``times`` are absolute (same origin as the fitted series).
+        ``clip`` floors the result at zero — a Fourier truncation can
+        ring below zero, but bandwidth cannot.
+        """
+        t = np.asarray(times, dtype=np.float64) - self.t0
+        x = np.full(t.shape, self.mean)
+        for s in self.spikes:
+            x += s.evaluate(t)
+        if clip:
+            np.maximum(x, 0.0, out=x)
+        return x
+
+    def truncated(self, n_spikes: int) -> "SpectralModel":
+        """The same model restricted to its strongest ``n_spikes``."""
+        return SpectralModel(
+            self.mean, self.spikes[:n_spikes], t0=self.t0,
+            fit_duration=self.fit_duration,
+        )
+
+    def error(self, series: BandwidthSeries) -> float:
+        """Normalized RMS error of the reconstruction against a series."""
+        x = series.values.astype(np.float64)
+        xh = self.reconstruct(series.times)
+        denom = np.sqrt(np.mean(x**2))
+        if denom == 0:
+            return 0.0 if np.allclose(xh, 0) else float("inf")
+        return float(np.sqrt(np.mean((x - xh) ** 2)) / denom)
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the model as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "SpectralModel":
+        """Read a model written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def to_dict(self) -> Dict:
+        return {
+            "mean": self.mean,
+            "t0": self.t0,
+            "fit_duration": self.fit_duration,
+            "spikes": [
+                {"freq": s.freq, "amplitude": s.amplitude, "phase": s.phase}
+                for s in self.spikes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "SpectralModel":
+        spikes = [Spike(**s) for s in d["spikes"]]
+        return cls(d["mean"], spikes, t0=d.get("t0", 0.0),
+                   fit_duration=d.get("fit_duration", 0.0))
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        f0 = self.fundamental
+        f0_txt = f"{f0:.3f} Hz" if f0 is not None else "none"
+        return (
+            f"<SpectralModel mean={self.mean:.1f} KB/s spikes={self.n_spikes} "
+            f"fundamental={f0_txt}>"
+        )

@@ -1,0 +1,42 @@
+"""A small deterministic discrete-event simulation engine.
+
+This is the substrate under the simulated cluster: processes are Python
+generators that yield :class:`Event` objects, and a binary-heap scheduler
+with FIFO tie-breaking guarantees exact reproducibility.
+
+Quick example::
+
+    from repro.des import Simulator
+
+    sim = Simulator()
+
+    def worker(sim, results):
+        yield sim.timeout(1.5)
+        results.append(sim.now)
+
+    out = []
+    sim.process(worker(sim, out))
+    sim.run()
+    assert out == [1.5]
+"""
+
+from .errors import EmptySchedule, Interrupt, SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+from .resources import FilterStore, Resource, Store
+from .simulator import Simulator
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Store",
+    "FilterStore",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "EmptySchedule",
+]

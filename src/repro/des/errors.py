@@ -1,0 +1,37 @@
+"""Exception types for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the DES engine."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that ends :meth:`Simulator.run`.
+
+    Carries the value the simulation run should return.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that was interrupted by another process.
+
+    The ``cause`` attribute carries the object passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __str__(self):  # pragma: no cover - cosmetic
+        return f"Interrupt({self.cause!r})"

@@ -1,0 +1,127 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator yields :class:`Event`
+objects; the process suspends until the yielded event triggers, then
+resumes with the event's value (or has the event's exception thrown into
+it if the event failed).  A :class:`Process` is itself an event that
+triggers when the generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .errors import Interrupt, SimulationError
+from .events import Event, PENDING
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        The generator to drive.  Each ``yield`` must produce an
+        :class:`Event` belonging to the same simulator.
+    name:
+        Optional label used in error messages and repr.
+    """
+
+    __slots__ = ("generator", "name", "_target", "_resume_event")
+
+    def __init__(self, sim, generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"not a generator: {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick-start: resume the generator at the current simulation time.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current target (the target event
+        itself is unaffected and may still trigger later).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        target = self._target
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        wakeup = Event(self.sim)
+        wakeup.callbacks.append(self._resume)
+        wakeup.fail(Interrupt(cause))
+
+    # -- engine ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.sim._active_process = self
+        self._target = None
+        try:
+            if event.ok:
+                next_event = self.generator.send(event.value)
+            else:
+                exc = event.value
+                next_event = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process as a failure.
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if self.sim.strict:
+                raise
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+        if next_event.sim is not self.sim:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another simulator"
+            )
+        if next_event.processed:
+            # Already complete: resume immediately (still via the queue so
+            # ordering stays deterministic).
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if next_event.ok:
+                relay.succeed(next_event.value)
+            else:
+                relay.fail(next_event.value)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        status = "alive" if self.is_alive else "done"
+        return f"<Process {self.name!r} {status}>"

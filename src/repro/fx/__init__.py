@@ -1,0 +1,62 @@
+"""The Fx run-time model: SPMD execution, patterns, and compute model."""
+
+from .arrays import (
+    Axis,
+    CommPlan,
+    DistributedArray,
+    broadcast_plan,
+    gather_plan,
+    halo_exchange_plan,
+    redistribute_plan,
+    reduce_plan,
+)
+from .compute import WorkModel
+from .patterns import (
+    Pattern,
+    all_to_all,
+    broadcast,
+    collect,
+    connection_count,
+    connectivity_matrix,
+    neighbor_exchange,
+    partition_recv,
+    partition_send,
+    pattern_pairs,
+    pattern_rounds,
+    tree_broadcast,
+    tree_downsweep,
+    tree_reduce,
+)
+from .program import FxProgram
+from .runtime import FxCluster, FxContext, FxRuntime, run_program
+
+__all__ = [
+    "FxCluster",
+    "FxContext",
+    "FxRuntime",
+    "FxProgram",
+    "WorkModel",
+    "Pattern",
+    "run_program",
+    "pattern_pairs",
+    "pattern_rounds",
+    "connection_count",
+    "connectivity_matrix",
+    "neighbor_exchange",
+    "all_to_all",
+    "partition_send",
+    "partition_recv",
+    "broadcast",
+    "collect",
+    "tree_reduce",
+    "tree_broadcast",
+    "tree_downsweep",
+    "Axis",
+    "DistributedArray",
+    "CommPlan",
+    "halo_exchange_plan",
+    "redistribute_plan",
+    "gather_plan",
+    "broadcast_plan",
+    "reduce_plan",
+]

@@ -1,0 +1,262 @@
+"""Distributed arrays and communication derivation: the compiler's job.
+
+Fx "parallelizes dense matrix codes based on parallel array assignment
+statements" (paper §2): the programmer writes array operations over
+distributed arrays, and the *compiler* derives which processors must
+exchange which bytes.  This module is that derivation, reduced to its
+essence: 2-D arrays block-distributed along one axis, and the four
+assignment forms behind the measured kernels:
+
+=====================  ==================  =========================
+array statement        derived pattern      measured kernel
+=====================  ==================  =========================
+halo/stencil access    neighbor             SOR
+redistribution         all-to-all           2DFFT, AIRSHED transposes
+gather / element feed  broadcast / collect  SEQ
+reduction              tree                 HIST
+=====================  ==================  =========================
+
+A derived :class:`CommPlan` both *describes* the communication (pattern,
+message size, pairs — feeding the QoS characterization) and *executes*
+it inside an SPMD rank body, so a program written against distributed
+arrays produces exactly the traffic of the hand-coded kernels (tested in
+``tests/test_fx_arrays.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from . import patterns as _patterns
+from .patterns import Pattern
+
+__all__ = [
+    "Axis",
+    "DistributedArray",
+    "CommPlan",
+    "halo_exchange_plan",
+    "redistribute_plan",
+    "gather_plan",
+    "broadcast_plan",
+    "reduce_plan",
+]
+
+
+class Axis(enum.IntEnum):
+    """Distribution axis of a 2-D array."""
+
+    ROWS = 0
+    COLS = 1
+
+
+@dataclass(frozen=True)
+class DistributedArray:
+    """A dense 2-D array block-distributed over P processors.
+
+    Parameters
+    ----------
+    rows, cols:
+        Global extents.
+    element_bytes:
+        Bytes per element.
+    dist:
+        The distributed axis: rows (processor p owns rows
+        ``p*rows/P .. (p+1)*rows/P``) or columns.
+    nprocs:
+        P; must divide the distributed extent.
+    """
+
+    rows: int
+    cols: int
+    element_bytes: int
+    dist: Axis
+    nprocs: int
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"bad extents {self.rows}x{self.cols}")
+        if self.element_bytes < 1:
+            raise ValueError(f"bad element size {self.element_bytes}")
+        if self.nprocs < 2:
+            raise ValueError(f"need at least 2 processors, got {self.nprocs}")
+        extent = self.rows if self.dist == Axis.ROWS else self.cols
+        if extent % self.nprocs != 0:
+            raise ValueError(
+                f"distributed extent {extent} not divisible by P={self.nprocs}"
+            )
+
+    @property
+    def local_rows(self) -> int:
+        return self.rows // self.nprocs if self.dist == Axis.ROWS else self.rows
+
+    @property
+    def local_cols(self) -> int:
+        return self.cols // self.nprocs if self.dist == Axis.COLS else self.cols
+
+    @property
+    def local_elements(self) -> int:
+        return self.local_rows * self.local_cols
+
+    @property
+    def local_bytes(self) -> int:
+        return self.local_elements * self.element_bytes
+
+    @property
+    def global_elements(self) -> int:
+        return self.rows * self.cols
+
+    def redistributed(self, new_dist: Axis) -> "DistributedArray":
+        """The same array distributed along the other axis."""
+        return DistributedArray(
+            self.rows, self.cols, self.element_bytes, new_dist, self.nprocs
+        )
+
+
+@dataclass(frozen=True)
+class CommPlan:
+    """A derived communication phase.
+
+    ``message_bytes`` is the per-connection message; ``pairs`` the
+    simplex connections used — together the ``b()`` and ``c`` of the
+    paper's QoS characterization, straight from the compiler.
+    """
+
+    pattern: Pattern
+    message_bytes: int
+    nprocs: int
+    description: str = ""
+
+    @property
+    def pairs(self) -> Set[Tuple[int, int]]:
+        return _patterns.pattern_pairs(self.pattern, self.nprocs)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved LAN-wide by one execution of the phase."""
+        return self.message_bytes * len(self.pairs)
+
+    def execute(self, ctx, tag: int = 0):
+        """Perform the phase inside an SPMD rank body (a generator)."""
+        if self.pattern is Pattern.NEIGHBOR:
+            yield from _patterns.neighbor_exchange(ctx, self.message_bytes, tag)
+        elif self.pattern is Pattern.ALL_TO_ALL:
+            yield from _patterns.all_to_all(ctx, self.message_bytes, tag)
+        elif self.pattern is Pattern.BROADCAST:
+            yield from _patterns.broadcast(ctx, 0, self.message_bytes, tag)
+        elif self.pattern is Pattern.TREE:
+            yield from _patterns.tree_reduce(ctx, self.message_bytes, tag)
+            yield from _patterns.tree_broadcast(ctx, self.message_bytes, tag)
+        elif self.pattern is Pattern.PARTITION:
+            half = ctx.nprocs // 2
+            if ctx.rank < half:
+                yield from _patterns.partition_send(ctx, self.message_bytes, tag)
+            else:
+                yield from _patterns.partition_recv(ctx, tag)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (
+            f"<CommPlan {self.pattern} {self.message_bytes}B x "
+            f"{len(self.pairs)} connections: {self.description}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# derivations: array statement -> communication
+# ---------------------------------------------------------------------------
+
+def halo_exchange_plan(array: DistributedArray, halo: int = 1) -> CommPlan:
+    """Stencil access across the distributed axis (SOR's rows).
+
+    ``a[i, j] = f(a[i-1, j], a[i+1, j], ...)`` with a row-block
+    distribution needs each processor's boundary rows at its
+    neighbours: a *neighbor* exchange of ``halo`` rows (or columns).
+    """
+    if halo < 1:
+        raise ValueError(f"halo must be >= 1, got {halo}")
+    if array.dist == Axis.ROWS:
+        if halo > array.local_rows:
+            raise ValueError("halo exceeds the local block")
+        nbytes = halo * array.cols * array.element_bytes
+    else:
+        if halo > array.local_cols:
+            raise ValueError("halo exceeds the local block")
+        nbytes = halo * array.rows * array.element_bytes
+    return CommPlan(
+        Pattern.NEIGHBOR, nbytes, array.nprocs,
+        description=f"halo={halo} stencil on {array.dist.name.lower()}-block",
+    )
+
+
+def redistribute_plan(array: DistributedArray, new_dist: Axis) -> CommPlan:
+    """Change of distribution axis (2DFFT's transpose, AIRSHED's).
+
+    Row-block to column-block: processor p keeps the intersection of its
+    row block with its new column block and sends each other processor
+    an (rows/P) x (cols/P) sub-block — the paper's O((N/P)^2) message on
+    all P(P-1) connections.
+    """
+    if new_dist == array.dist:
+        raise ValueError("array already distributed along that axis")
+    P = array.nprocs
+    other_extent = array.cols if array.dist == Axis.ROWS else array.rows
+    if other_extent % P != 0:
+        raise ValueError(
+            f"target extent {other_extent} not divisible by P={P}"
+        )
+    block_elements = (array.rows // P) * (array.cols // P) \
+        if array.dist == Axis.ROWS else (array.cols // P) * (array.rows // P)
+    nbytes = block_elements * array.element_bytes
+    return CommPlan(
+        Pattern.ALL_TO_ALL, nbytes, P,
+        description=f"redistribute {array.dist.name} -> {new_dist.name}",
+    )
+
+
+def gather_plan(array: DistributedArray) -> CommPlan:
+    """Gather the whole array at processor 0 (sequential output).
+
+    Every processor sends its local block to the root; the root's
+    connections carry the traffic (modelled with the broadcast pattern's
+    pair structure reversed — we use BROADCAST whose executable form is
+    root-centric; the byte volume is each sender's local block).
+    """
+    return CommPlan(
+        Pattern.BROADCAST, array.local_bytes, array.nprocs,
+        description="gather local blocks at processor 0",
+    )
+
+
+def broadcast_plan(array: DistributedArray,
+                   element_wise: bool = False) -> CommPlan:
+    """Feed data from processor 0 to all (sequential input, SEQ).
+
+    ``element_wise=True`` models Fx's naive sequential-I/O lowering —
+    one message *per element* to every processor (the paper's SEQ);
+    otherwise one block-sized message per destination.
+    """
+    nbytes = array.element_bytes if element_wise else array.local_bytes
+    return CommPlan(
+        Pattern.BROADCAST, nbytes, array.nprocs,
+        description=(
+            "element-wise sequential input" if element_wise
+            else "block broadcast from processor 0"
+        ),
+    )
+
+
+def reduce_plan(array: DistributedArray, result_bytes: int) -> CommPlan:
+    """Reduction of a local result vector to processor 0 and back (HIST).
+
+    The reduced value (e.g. a histogram of ``result_bytes``) moves up a
+    binary tree and the final result is broadcast.
+    """
+    if result_bytes < 1:
+        raise ValueError(f"result_bytes must be >= 1, got {result_bytes}")
+    return CommPlan(
+        Pattern.TREE, result_bytes, array.nprocs,
+        description=f"tree reduction of {result_bytes}B vector",
+    )

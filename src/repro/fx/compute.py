@@ -1,0 +1,90 @@
+"""Machine compute model: work units to simulated seconds.
+
+Stands in for the paper's 133 MHz Alpha 21064 workstations.  Each program
+is calibrated with a work *rate* (abstract operations per second — the
+per-op cost differs between a stencil update and an FFT butterfly) plus
+two noise terms:
+
+* small multiplicative jitter on every compute phase (cache effects,
+  memory system), and
+* occasional *descheduling* — the OS preempting the user process, which
+  the paper singles out as the cause of merged communication bursts in
+  the 2DFFT trace ("some processor descheduled the program").  The
+  probability of a deschedule is proportional to the phase's duration
+  (a Poisson process in compute time), so a kernel making thousands of
+  microsecond-scale compute calls is not penalized per call.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+__all__ = ["WorkModel"]
+
+
+class WorkModel:
+    """Converts abstract work units into compute-phase durations.
+
+    Parameters
+    ----------
+    rate:
+        Work units per second.
+    jitter:
+        Relative standard deviation of multiplicative Gaussian noise.
+    deschedule_rate:
+        Expected OS deschedulings per second of compute.
+    deschedule_mean:
+        Mean of the exponential extra delay when descheduled.
+    rng:
+        Source of randomness; pass a seeded ``random.Random`` for
+        reproducible runs.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        jitter: float = 0.01,
+        deschedule_rate: float = 0.0,
+        deschedule_mean: float = 0.1,
+        rng: Optional[random.Random] = None,
+    ):
+        if rate <= 0:
+            raise ValueError(f"work rate must be positive, got {rate}")
+        if jitter < 0:
+            raise ValueError(f"negative jitter: {jitter}")
+        if deschedule_rate < 0:
+            raise ValueError(f"negative deschedule_rate: {deschedule_rate}")
+        self.rate = float(rate)
+        self.jitter = jitter
+        self.deschedule_rate = deschedule_rate
+        self.deschedule_mean = deschedule_mean
+        self.rng = rng if rng is not None else random.Random(0)
+        self.deschedules = 0
+
+    def duration(self, work: float) -> float:
+        """Seconds to complete ``work`` units, noise included."""
+        if work < 0:
+            raise ValueError(f"negative work: {work}")
+        if work == 0:
+            return 0.0
+        base = work / self.rate
+        if self.jitter > 0:
+            base *= max(0.0, 1.0 + self.rng.gauss(0.0, self.jitter))
+        if self.deschedule_rate > 0:
+            prob = -math.expm1(-self.deschedule_rate * base)
+            if self.rng.random() < prob:
+                self.deschedules += 1
+                base += self.rng.expovariate(1.0 / self.deschedule_mean)
+        return base
+
+    def clone(self, seed: int) -> "WorkModel":
+        """An identically-parameterized model with its own RNG stream."""
+        return WorkModel(
+            rate=self.rate,
+            jitter=self.jitter,
+            deschedule_rate=self.deschedule_rate,
+            deschedule_mean=self.deschedule_mean,
+            rng=random.Random(seed),
+        )

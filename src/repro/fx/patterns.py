@@ -1,0 +1,261 @@
+"""The global communication patterns of Fx programs (paper Figure 1).
+
+Each pattern has two faces:
+
+* a **static schedule** — the set of (src, dst) rank pairs it uses, and a
+  per-round decomposition.  These drive analysis (which connections carry
+  traffic), the QoS model (how many connections contend), and Figure 1's
+  connectivity matrices;
+* an **executable collective** — a generator run inside each rank's SPMD
+  body, performing the sends/receives in the synchronous order the Fx
+  run-time library would (e.g. the shift schedule for all-to-all).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Pattern",
+    "pattern_pairs",
+    "pattern_rounds",
+    "connection_count",
+    "connectivity_matrix",
+    "neighbor_exchange",
+    "all_to_all",
+    "partition_send",
+    "partition_recv",
+    "broadcast",
+    "collect",
+    "tree_reduce",
+    "tree_broadcast",
+    "tree_downsweep",
+]
+
+
+class Pattern(str, enum.Enum):
+    """The communication patterns of paper Figure 1."""
+
+    NEIGHBOR = "neighbor"
+    ALL_TO_ALL = "all-to-all"
+    PARTITION = "partition"
+    BROADCAST = "broadcast"
+    TREE = "tree"
+
+    def __str__(self):  # pragma: no cover - cosmetic
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# static schedules
+# ---------------------------------------------------------------------------
+
+def _check_p(P: int) -> None:
+    if P < 2:
+        raise ValueError(f"patterns need at least 2 ranks, got {P}")
+
+
+def pattern_pairs(pattern: Pattern, P: int) -> Set[Tuple[int, int]]:
+    """All simplex (src, dst) rank pairs the pattern ever uses."""
+    _check_p(P)
+    pairs: Set[Tuple[int, int]] = set()
+    if pattern is Pattern.NEIGHBOR:
+        for r in range(P):
+            if r > 0:
+                pairs.add((r, r - 1))
+            if r < P - 1:
+                pairs.add((r, r + 1))
+    elif pattern is Pattern.ALL_TO_ALL:
+        pairs = {(s, d) for s in range(P) for d in range(P) if s != d}
+    elif pattern is Pattern.PARTITION:
+        half = P // 2
+        pairs = {(s, d) for s in range(half) for d in range(half, P)}
+    elif pattern is Pattern.BROADCAST:
+        pairs = {(0, d) for d in range(1, P)}
+    elif pattern is Pattern.TREE:
+        # up-sweep: odd multiples of 2^i send left by 2^i
+        step = 1
+        while step < P:
+            for r in range(step, P, 2 * step):
+                pairs.add((r, r - step))
+            step *= 2
+        # final broadcast of the result from rank 0
+        pairs.update((0, d) for d in range(1, P))
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown pattern {pattern!r}")
+    return pairs
+
+
+def pattern_rounds(pattern: Pattern, P: int) -> List[List[Tuple[int, int]]]:
+    """Per-round (src, dst) pairs, in the synchronous execution order."""
+    _check_p(P)
+    rounds: List[List[Tuple[int, int]]] = []
+    if pattern is Pattern.NEIGHBOR:
+        # one phase: everyone exchanges with both neighbours
+        rounds.append(sorted(pattern_pairs(pattern, P)))
+    elif pattern is Pattern.ALL_TO_ALL:
+        # shift schedule: round k sends rank -> rank+k (mod P)
+        for k in range(1, P):
+            rounds.append([(r, (r + k) % P) for r in range(P)])
+    elif pattern is Pattern.PARTITION:
+        half = P // 2
+        n_recv = P - half  # one larger than half when P is odd
+        # shift within the partition: round k pairs sender s with
+        # receiver half + (s + k) % n_recv
+        for k in range(n_recv):
+            rounds.append([(s, half + (s + k) % n_recv) for s in range(half)])
+    elif pattern is Pattern.BROADCAST:
+        rounds.append([(0, d) for d in range(1, P)])
+    elif pattern is Pattern.TREE:
+        step = 1
+        while step < P:
+            rounds.append([(r, r - step) for r in range(step, P, 2 * step)])
+            step *= 2
+        rounds.append([(0, d) for d in range(1, P)])
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown pattern {pattern!r}")
+    return rounds
+
+
+def connection_count(pattern: Pattern, P: int) -> int:
+    """Number of simplex connections the pattern loads (paper §7.1).
+
+    all-to-all: P(P-1); neighbor: 2(P-1) (at most 2P); partition
+    (equal halves): P^2/4; broadcast: P-1; tree: the up-sweep pairs plus
+    the final broadcast.
+    """
+    return len(pattern_pairs(pattern, P))
+
+
+def connectivity_matrix(pattern: Pattern, P: int) -> np.ndarray:
+    """PxP 0/1 matrix: entry [s, d] is 1 when s ever sends to d."""
+    m = np.zeros((P, P), dtype=np.int8)
+    for s, d in pattern_pairs(pattern, P):
+        m[s, d] = 1
+    return m
+
+
+# ---------------------------------------------------------------------------
+# executable collectives (run inside an FxContext rank body)
+# ---------------------------------------------------------------------------
+
+def neighbor_exchange(ctx, nbytes: int, tag: int = 0):
+    """Exchange ``nbytes`` with both neighbours (SOR's pattern)."""
+    rank, P = ctx.rank, ctx.nprocs
+    if rank > 0:
+        yield from ctx.send(rank - 1, nbytes, tag=tag)
+    if rank < P - 1:
+        yield from ctx.send(rank + 1, nbytes, tag=tag)
+    if rank > 0:
+        yield ctx.recv(rank - 1, tag=tag)
+    if rank < P - 1:
+        yield ctx.recv(rank + 1, tag=tag)
+
+
+def all_to_all(ctx, nbytes: int, tag: int = 0):
+    """Shift-scheduled all-to-all: round k sends to (rank+k) mod P."""
+    rank, P = ctx.rank, ctx.nprocs
+    for k in range(1, P):
+        dst = (rank + k) % P
+        src = (rank - k) % P
+        yield from ctx.send(dst, nbytes, tag=tag)
+        yield ctx.recv(src, tag=tag)
+
+
+def partition_send(ctx, nbytes: int, tag: int = 0, fragments: int = 1):
+    """Sender half of the partition pattern (T2DFFT's senders)."""
+    rank, P = ctx.rank, ctx.nprocs
+    half = P // 2
+    if rank >= half:
+        raise ValueError(f"rank {rank} is not in the sending half")
+    for k in range(half):
+        dst = half + (rank + k) % half
+        yield from ctx.send(dst, nbytes, tag=tag, fragments=fragments)
+
+
+def partition_recv(ctx, tag: int = 0):
+    """Receiver half of the partition pattern; yields each message."""
+    rank, P = ctx.rank, ctx.nprocs
+    half = P // 2
+    if rank < half:
+        raise ValueError(f"rank {rank} is not in the receiving half")
+    for k in range(half):
+        src = (rank - half - k) % half
+        yield ctx.recv(src, tag=tag)
+
+
+def broadcast(ctx, root: int, nbytes: int, tag: int = 0):
+    """Root sends ``nbytes`` to every other rank; others receive.
+
+    PVM's mcast is a loop of point-to-point sends from the root.
+    Returns nothing; all ranks are synchronized by the receive.
+    """
+    rank, P = ctx.rank, ctx.nprocs
+    if rank == root:
+        for d in range(P):
+            if d != root:
+                yield from ctx.send(d, nbytes, tag=tag)
+    else:
+        yield ctx.recv(root, tag=tag)
+
+
+def collect(ctx, root: int, nbytes: int, tag: int = 0):
+    """Every rank sends ``nbytes`` to the root (reverse of broadcast)."""
+    rank, P = ctx.rank, ctx.nprocs
+    if rank == root:
+        for s in range(P):
+            if s != root:
+                yield ctx.recv(s, tag=tag)
+    else:
+        yield from ctx.send(root, nbytes, tag=tag)
+
+
+def tree_reduce(ctx, nbytes: int, tag: int = 0, merge_work: float = 0.0):
+    """Up-sweep: at step i, odd multiples of 2^i send left and drop out.
+
+    Rank 0 ends holding the reduced value (HIST's merge phase).
+    ``merge_work`` is compute charged per received vector.
+    """
+    rank, P = ctx.rank, ctx.nprocs
+    step = 1
+    while step < P:
+        if (rank % (2 * step)) == step:
+            yield from ctx.send(rank - step, nbytes, tag=tag)
+            return  # sent and dropped out
+        if (rank % (2 * step)) == 0 and rank + step < P:
+            yield ctx.recv(rank + step, tag=tag)
+            if merge_work > 0:
+                yield ctx.compute(merge_work)
+        step *= 2
+
+
+def tree_broadcast(ctx, nbytes: int, tag: int = 0):
+    """Result distribution after a reduce: rank 0 broadcasts (HIST)."""
+    yield from broadcast(ctx, 0, nbytes, tag=tag)
+
+
+def tree_downsweep(ctx, nbytes: int, tag: int = 0):
+    """The Figure-1 "down-sweep": the up-sweep reversed.
+
+    Starting from rank 0, at each step every holder forwards to the
+    partner it received from during the corresponding up-sweep step, so
+    after log2(P) rounds every rank holds the value.  Unlike the flat
+    broadcast this spreads the root's send load over the tree.
+    """
+    rank, P = ctx.rank, ctx.nprocs
+    # largest power of two < P
+    top = 1
+    while top * 2 < P:
+        top *= 2
+    step = top
+    received = rank == 0
+    while step >= 1:
+        if received and rank % (2 * step) == 0 and rank + step < P:
+            yield from ctx.send(rank + step, nbytes, tag=tag)
+        elif not received and rank % (2 * step) == step:
+            yield ctx.recv(rank - step, tag=tag)
+            received = True
+        step //= 2

@@ -1,0 +1,59 @@
+"""The SPMD program abstraction compiled code plugs into.
+
+An :class:`FxProgram` is what the Fx compiler would emit: a per-rank body
+of interleaved local-computation and communication phases, plus the
+metadata the QoS model wants (pattern, work and burst-size functions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .patterns import Pattern
+
+__all__ = ["FxProgram"]
+
+
+class FxProgram:
+    """Base class for compiled SPMD programs.
+
+    Subclasses set :attr:`name` and :attr:`pattern` and implement
+    :meth:`rank_body`.  The body is a generator taking an
+    :class:`~repro.fx.runtime.FxContext`; it yields events (compute
+    phases, sends, receives) and is iterated ``iterations`` times by the
+    default :meth:`run` driver.
+    """
+
+    #: Program name, used in tables and trace files.
+    name: str = "program"
+
+    #: Dominant communication pattern (paper Figure 2).
+    pattern: Optional[Pattern] = None
+
+    def rank_body(self, ctx):
+        """One outer iteration of this rank's work.  Must be a generator."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def setup(self, ctx):
+        """Optional per-rank initialization before the first iteration."""
+        return
+        yield  # pragma: no cover
+
+    def run(self, ctx, iterations: int):
+        """Default driver: setup once, then iterate the body."""
+        yield from self.setup(ctx)
+        for _ in range(iterations):
+            yield from self.rank_body(ctx)
+
+    # -- QoS metadata (paper §7.3): override where meaningful -----------
+    def local_work(self, P: int) -> float:
+        """Work units per processor per compute phase, as l(P)."""
+        raise NotImplementedError(f"{self.name} does not define local_work")
+
+    def burst_bytes(self, P: int) -> int:
+        """Message bytes per connection per communication phase, as b(P)."""
+        raise NotImplementedError(f"{self.name} does not define burst_bytes")
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"<FxProgram {self.name} pattern={self.pattern}>"

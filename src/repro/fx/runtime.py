@@ -1,0 +1,250 @@
+"""The Fx run-time system: cluster assembly and SPMD execution.
+
+:class:`FxCluster` builds the testbed — simulator, shared Ethernet,
+host stacks, PVM, and a promiscuous trace recorder (the paper's dedicated
+measurement workstation, which never runs program tasks).
+
+:class:`FxRuntime` executes an :class:`~repro.fx.program.FxProgram` with
+P ranks, one task per machine, giving each rank an :class:`FxContext`
+with compute/send/recv primitives and the collectives of
+:mod:`repro.fx.patterns`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..capture import PacketTrace, TraceRecorder
+from ..des import Event, Simulator
+from ..net import EthernetBus, Nic, SwitchedFabric
+from ..pvm import PvmMessage, Route, VirtualMachine
+from ..transport import HostStack
+from .compute import WorkModel
+from .program import FxProgram
+
+__all__ = ["FxCluster", "FxContext", "FxRuntime", "run_program"]
+
+
+class FxCluster:
+    """A simulated workstation cluster on one shared Ethernet.
+
+    Parameters
+    ----------
+    n_machines:
+        Workstations on the LAN (the paper used nine; one extra passive
+        machine runs the packet filter, which here is the bus listener).
+    bandwidth_bps:
+        LAN bandwidth; 10 Mb/s reproduces the paper's Ethernet.
+    seed:
+        Master seed; every stochastic component gets a derived stream.
+    medium:
+        "ethernet" (the paper's shared CSMA/CD bus) or "switched" (a
+        full-duplex output-queued switch with optional per-flow QoS
+        reservations — the next-generation LAN of the paper's §1).
+    keepalive_interval:
+        PVM daemon chatter period (0 disables).
+    tcp_kwargs:
+        Options forwarded to every TCP pipe (window, sndbuf, mss, ...).
+    """
+
+    def __init__(
+        self,
+        n_machines: int = 5,
+        bandwidth_bps: float = 10e6,
+        seed: int = 0,
+        medium: str = "ethernet",
+        keepalive_interval: float = 0.0,
+        tcp_kwargs: Optional[dict] = None,
+    ):
+        if n_machines < 2:
+            raise ValueError("a cluster needs at least 2 machines")
+        self.seed = seed
+        self.sim = Simulator()
+        if medium == "ethernet":
+            self.bus = EthernetBus(self.sim, bandwidth_bps=bandwidth_bps, seed=seed)
+        elif medium == "switched":
+            self.bus = SwitchedFabric(self.sim, link_bps=bandwidth_bps, seed=seed)
+        else:
+            raise ValueError(f"unknown medium {medium!r}")
+        self.stacks: List[HostStack] = [
+            HostStack(self.sim, Nic(self.sim, self.bus, i), i, name=f"alpha{i}")
+            for i in range(n_machines)
+        ]
+        self.recorder = TraceRecorder(self.bus)
+        self.vm = VirtualMachine(
+            self.sim,
+            self.stacks,
+            keepalive_interval=keepalive_interval,
+            tcp_kwargs=tcp_kwargs,
+        )
+
+    def trace(self) -> PacketTrace:
+        return self.recorder.trace()
+
+
+class FxContext:
+    """The per-rank view of the runtime inside an SPMD body."""
+
+    def __init__(self, runtime: "FxRuntime", rank: int, task, work_model: WorkModel):
+        self.runtime = runtime
+        self.rank = rank
+        self.task = task
+        self.work_model = work_model
+        self.sim = runtime.sim
+
+    @property
+    def nprocs(self) -> int:
+        return self.runtime.nprocs
+
+    # -- local computation ------------------------------------------------
+    def compute(self, work: float) -> Event:
+        """A compute phase of ``work`` units; yield the returned event.
+
+        The phase's (rank, start, end) is appended to the runtime's
+        :attr:`FxRuntime.phase_log` — ground truth for validating the
+        burst/idle structure recovered from packet traces.
+        """
+        duration = self.work_model.duration(work)
+        if duration > 0:
+            self.runtime.phase_log.append(
+                (self.rank, self.sim.now, self.sim.now + duration)
+            )
+        return self.sim.timeout(duration)
+
+    # -- point-to-point ---------------------------------------------------
+    def send(self, dst_rank: int, nbytes: int, tag: int = 0,
+             obj=None, fragments: int = 1):
+        """Send ``nbytes`` to ``dst_rank``; a generator to ``yield from``.
+
+        ``fragments > 1`` packs the payload as that many PVM fragments
+        (T2DFFT's multi-pack behaviour); otherwise the message is a
+        single fragment, as produced by the other kernels' copy loops.
+        """
+        if not 0 <= dst_rank < self.nprocs:
+            raise ValueError(f"bad destination rank {dst_rank}")
+        if dst_rank == self.rank:
+            raise ValueError("send to self")
+        if fragments < 1:
+            raise ValueError(f"fragments must be >= 1, got {fragments}")
+        msg = PvmMessage(tag=tag, obj=obj)
+        if fragments == 1:
+            msg.pack(nbytes)
+        else:
+            base, extra = divmod(nbytes, fragments)
+            for i in range(fragments):
+                msg.pack(base + (1 if i < extra else 0))
+        yield from self.runtime.vm.send(
+            self.task, self.runtime.tasks[dst_rank], msg, route=self.runtime.route
+        )
+
+    def recv(self, src_rank: Optional[int] = None, tag: Optional[int] = None) -> Event:
+        """Event that fires with the next matching message."""
+        source = None
+        if src_rank is not None:
+            if not 0 <= src_rank < self.nprocs:
+                raise ValueError(f"bad source rank {src_rank}")
+            source = self.runtime.tasks[src_rank].tid
+        return self.task.recv(source=source, tag=tag)
+
+    # -- out-of-band barrier (no traffic; used for structuring only) -------
+    def barrier(self) -> Event:
+        return self.runtime._barrier_arrive(self.rank)
+
+
+class FxRuntime:
+    """Executes one SPMD program over a cluster.
+
+    Parameters
+    ----------
+    machines:
+        Optional rank -> machine-index map, for co-running several
+        programs on one LAN (each runtime on its own machines, all
+        sharing the Ethernet).  Defaults to ranks 0..nprocs-1.
+    """
+
+    def __init__(
+        self,
+        cluster: FxCluster,
+        nprocs: int,
+        work_model: WorkModel,
+        route: Route = Route.DIRECT,
+        machines: Optional[List[int]] = None,
+    ):
+        if machines is None:
+            machines = list(range(nprocs))
+        if len(machines) != nprocs:
+            raise ValueError(
+                f"machines map has {len(machines)} entries for {nprocs} ranks"
+            )
+        if any(m >= len(cluster.stacks) or m < 0 for m in machines):
+            raise ValueError(
+                f"machine indices {machines} out of range for "
+                f"{len(cluster.stacks)} machines"
+            )
+        if len(set(machines)) != nprocs:
+            raise ValueError(f"duplicate machine assignment: {machines}")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.vm = cluster.vm
+        self.nprocs = nprocs
+        self.route = route
+        self.machines = machines
+        self.tasks = [
+            self.vm.spawn(machines[r], name=f"rank{r}") for r in range(nprocs)
+        ]
+        #: Ground-truth compute phases: (rank, start, end) per ctx.compute.
+        self.phase_log: List[tuple] = []
+        self.contexts = [
+            FxContext(self, r, self.tasks[r], work_model.clone(cluster.seed * 1000 + r))
+            for r in range(nprocs)
+        ]
+        self._barrier_waiters: List[Event] = []
+
+    def _barrier_arrive(self, rank: int) -> Event:
+        ev = Event(self.sim)
+        self._barrier_waiters.append(ev)
+        if len(self._barrier_waiters) == self.nprocs:
+            waiters, self._barrier_waiters = self._barrier_waiters, []
+            for w in waiters:
+                w.succeed()
+        return ev
+
+    def launch(self, program: FxProgram, iterations: int) -> List:
+        """Start all rank processes; returns the process handles."""
+        return [
+            self.sim.process(
+                program.run(ctx, iterations), name=f"{program.name}-rank{ctx.rank}"
+            )
+            for ctx in self.contexts
+        ]
+
+    def execute(self, program: FxProgram, iterations: int) -> PacketTrace:
+        """Run the program to completion and return the captured trace."""
+        procs = self.launch(program, iterations)
+        self.sim.run(until=self.sim.all_of(procs))
+        return self.cluster.trace()
+
+
+def run_program(
+    program: FxProgram,
+    nprocs: int = 4,
+    iterations: int = 10,
+    work_model: Optional[WorkModel] = None,
+    seed: int = 0,
+    n_machines: Optional[int] = None,
+    route: Route = Route.DIRECT,
+    keepalive_interval: float = 0.0,
+    tcp_kwargs: Optional[dict] = None,
+) -> PacketTrace:
+    """One-call convenience: build a cluster, run, return the trace."""
+    cluster = FxCluster(
+        n_machines=n_machines if n_machines is not None else nprocs + 1,
+        seed=seed,
+        keepalive_interval=keepalive_interval,
+        tcp_kwargs=tcp_kwargs,
+    )
+    if work_model is None:
+        work_model = WorkModel(rate=1e6, rng=random.Random(seed))
+    runtime = FxRuntime(cluster, nprocs, work_model, route=route)
+    return runtime.execute(program, iterations)

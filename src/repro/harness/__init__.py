@@ -1,0 +1,27 @@
+"""Experiment harness: one runner per paper table/figure, plus rendering."""
+
+from .ablations import ABLATIONS, run_ablation
+from .experiments import EXPERIMENTS, Artifact, run_experiment
+from .figures import export_artifact
+from .plots import ascii_plot, render_series
+from .replication import Replication, replicate
+from .runner import REPRESENTATIVE_CONNECTIONS, clear_trace_cache, get_trace
+from .tables import format_matrix, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ABLATIONS",
+    "Artifact",
+    "run_experiment",
+    "run_ablation",
+    "export_artifact",
+    "Replication",
+    "replicate",
+    "get_trace",
+    "clear_trace_cache",
+    "REPRESENTATIVE_CONNECTIONS",
+    "format_table",
+    "ascii_plot",
+    "render_series",
+    "format_matrix",
+]

@@ -1,0 +1,65 @@
+"""Figure-series export: write an experiment's data series to disk.
+
+The paper's figures were gnuplot files ("SOR.all.patch.time.winbw.chop");
+we export the same kind of two-column data files plus a small manifest,
+so any plotting tool can regenerate the figures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .experiments import Artifact
+
+__all__ = ["export_artifact"]
+
+
+def export_artifact(artifact: Artifact, directory: Union[str, Path]) -> Path:
+    """Write an artifact's tables, series, and checks under ``directory``.
+
+    Layout::
+
+        <dir>/<exp_id>/
+            report.txt            all tables + checks
+            manifest.json         metrics, checks, file list
+            <series-name>.dat     two-column x y data per series
+    """
+    root = Path(directory) / artifact.exp_id
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "report.txt").write_text(artifact.render() + "\n")
+    files = []
+    for name, (x, y) in artifact.series.items():
+        safe = name.replace("/", "_").replace(" ", "_")
+        path = root / f"{safe}.dat"
+        data = np.column_stack([np.asarray(x, dtype=float),
+                                np.asarray(y, dtype=float)])
+        header = f"{artifact.exp_id}: {name}\ncolumns: x y"
+        np.savetxt(path, data, header=header)
+        files.append(path.name)
+    manifest = {
+        "exp_id": artifact.exp_id,
+        "title": artifact.title,
+        "metrics": artifact.metrics,
+        "checks": artifact.checks,
+        "series_files": files,
+    }
+
+    def _tojson(o):
+        # NumPy scalars (np.bool_, np.float64, ...) leak into metrics
+        # and checks; unwrap them for the JSON encoder.
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        raise TypeError(f"not JSON serializable: {type(o).__name__}")
+
+    (root / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, default=_tojson)
+    )
+    return root

@@ -1,0 +1,92 @@
+"""Terminal rendering of figure series: ASCII line/impulse plots.
+
+The paper's figures are bandwidth time series and power spectra; these
+helpers render an experiment's exported (x, y) series as fixed-width
+character plots so ``python -m repro run fig6 --plot`` shows the shape
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_plot", "render_series"]
+
+_LEVELS = " .:-=+*#%@"
+
+
+def ascii_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 14,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a column-binned impulse plot of (x, y).
+
+    Each output column shows the *maximum* y over the x values it
+    covers (bursty signals survive downsampling); column height is
+    linear in y.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if width < 8 or height < 3:
+        raise ValueError("plot area too small")
+    lines = []
+    if title:
+        lines.append(title)
+    if len(x) == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    x0, x1 = float(x.min()), float(x.max())
+    span = x1 - x0 or 1.0
+    cols = np.minimum(((x - x0) / span * (width - 1)).astype(int), width - 1)
+    col_max = np.zeros(width)
+    np.maximum.at(col_max, cols, y)
+    y_max = col_max.max()
+    if y_max <= 0:
+        y_max = 1.0
+    heights = np.round(col_max / y_max * height).astype(int)
+
+    for row in range(height, 0, -1):
+        cells = []
+        for c in range(width):
+            if heights[c] >= row:
+                cells.append("#")
+            elif heights[c] == row - 1 and col_max[c] > 0 and heights[c] == 0:
+                cells.append(".")
+            else:
+                cells.append(" ")
+        prefix = f"{y_max:10.3g} |" if row == height else " " * 10 + " |"
+        lines.append(prefix + "".join(cells))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x0:<12.4g}{x_label:^{max(0, width - 24)}}{x1:>12.4g}"
+    )
+    lines.append(" " * 11 + f"(y: {y_label}, peak {y_max:.4g})")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: dict,
+    width: int = 72,
+    height: int = 10,
+    max_plots: int = 8,
+) -> str:
+    """Render an artifact's ``series`` dict as stacked ASCII plots."""
+    out = []
+    for i, (name, (x, y)) in enumerate(series.items()):
+        if i >= max_plots:
+            out.append(f"... {len(series) - max_plots} more series omitted")
+            break
+        out.append(ascii_plot(np.asarray(x), np.asarray(y),
+                              width=width, height=height, title=name))
+        out.append("")
+    return "\n".join(out)

@@ -1,0 +1,89 @@
+"""Multi-seed replication: are the reproduced results seed-robust?
+
+The paper repeated its measurements "several times".  This module runs
+an experiment across seeds, aggregates each scalar metric into
+mean ± sd, and reports how often every shape criterion held — the
+reproduction's answer to "was that one lucky trace?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from .experiments import Artifact
+from .tables import format_table
+
+__all__ = ["Replication", "replicate"]
+
+
+@dataclass
+class Replication:
+    """Aggregated results of one experiment across seeds."""
+
+    exp_id: str
+    seeds: List[int]
+    metric_means: Dict[str, float] = field(default_factory=dict)
+    metric_sds: Dict[str, float] = field(default_factory=dict)
+    check_pass_rates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def all_checks_always_pass(self) -> bool:
+        return all(rate == 1.0 for rate in self.check_pass_rates.values())
+
+    def metrics_table(self) -> str:
+        rows = [
+            (name, round(self.metric_means[name], 4),
+             round(self.metric_sds[name], 4))
+            for name in sorted(self.metric_means)
+        ]
+        return format_table(
+            ["metric", "mean", "sd"], rows,
+            f"{self.exp_id} across seeds {self.seeds}",
+        )
+
+    def checks_table(self) -> str:
+        rows = [
+            (name, f"{int(rate * len(self.seeds))}/{len(self.seeds)}")
+            for name, rate in sorted(self.check_pass_rates.items())
+        ]
+        return format_table(["shape criterion", "passed"], rows)
+
+    def render(self) -> str:
+        return self.metrics_table() + "\n\n" + self.checks_table()
+
+
+def replicate(
+    runner: Callable[..., Artifact],
+    seeds: Sequence[int] = (0, 1, 2),
+    scale: str = "smoke",
+) -> Replication:
+    """Run ``runner(scale=..., seed=...)`` per seed and aggregate.
+
+    Metrics that are not finite numbers for every seed are dropped from
+    the aggregation (some experiments report NaN placeholders).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    artifacts = [runner(scale=scale, seed=s) for s in seeds]
+    rep = Replication(exp_id=artifacts[0].exp_id, seeds=list(seeds))
+
+    metric_names = set(artifacts[0].metrics)
+    for art in artifacts[1:]:
+        metric_names &= set(art.metrics)
+    for name in metric_names:
+        values = np.array([float(a.metrics[name]) for a in artifacts])
+        if not np.all(np.isfinite(values)):
+            continue
+        rep.metric_means[name] = float(values.mean())
+        rep.metric_sds[name] = float(values.std())
+
+    check_names = set()
+    for art in artifacts:
+        check_names |= set(art.checks)
+    for name in check_names:
+        hits = sum(1 for a in artifacts if a.checks.get(name, False))
+        rep.check_pass_rates[name] = hits / len(artifacts)
+    return rep

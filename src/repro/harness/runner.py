@@ -1,0 +1,42 @@
+"""Shared trace production with caching.
+
+Figures 3-7 all analyse the same five kernel traces and Figures 8-11 the
+same AIRSHED trace, so traces are produced once per (program, scale,
+seed) and shared across experiments within a process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..capture import PacketTrace
+from ..programs import run_measured
+
+__all__ = ["get_trace", "clear_trace_cache", "REPRESENTATIVE_CONNECTIONS"]
+
+#: The representative connection analysed per program (paper §6.1):
+#: SOR/2DFFT pick an arbitrary (adjacent, for SOR) machine pair; T2DFFT a
+#: sender-half -> receiver-half pair; SEQ and HIST have no representative
+#: connection because their patterns are not symmetric.
+REPRESENTATIVE_CONNECTIONS: Dict[str, Tuple[int, int]] = {
+    "sor": (1, 2),
+    "2dfft": (1, 2),
+    "t2dfft": (0, 2),
+    "airshed": (1, 2),
+}
+
+_CACHE: Dict[Tuple[str, str, int], PacketTrace] = {}
+
+
+def get_trace(name: str, scale: str = "default", seed: int = 0) -> PacketTrace:
+    """The measured trace of one program, cached per process."""
+    key = (name, scale, seed)
+    trace = _CACHE.get(key)
+    if trace is None:
+        trace = run_measured(name, scale=scale, seed=seed)
+        _CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,64 @@
+"""Plain-text table rendering in the paper's tabular style."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_matrix"]
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_matrix(matrix, row_label: str = "src", col_label: str = "dst",
+                  title: Optional[str] = None) -> str:
+    """Render a small 0/1 connectivity matrix with axis labels."""
+    n_rows = len(matrix)
+    n_cols = len(matrix[0]) if n_rows else 0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{row_label}\\{col_label} " + " ".join(f"{j:2d}" for j in range(n_cols))
+    )
+    for i in range(n_rows):
+        cells = " ".join(" ." if matrix[i][j] == 0 else " x" for j in range(n_cols))
+        lines.append(f"{i:7d} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Simulated shared-Ethernet LAN: frames, CSMA/CD bus, and NICs.
+
+The substrate that stands in for the paper's bridged 10 Mb/s Ethernet of
+DEC Alpha workstations (one collision domain, 1.25 MB/s aggregate).
+"""
+
+from .frame import (
+    BROADCAST,
+    ETHERNET_OVERHEAD,
+    MAX_MEASURED_SIZE,
+    MIN_MEASURED_SIZE,
+    EthernetFrame,
+)
+from .medium import BusStats, EthernetBus
+from .switched import Reservation, SwitchedFabric
+from .nic import Nic, NicStats
+
+__all__ = [
+    "EthernetFrame",
+    "EthernetBus",
+    "BusStats",
+    "SwitchedFabric",
+    "Reservation",
+    "Nic",
+    "NicStats",
+    "BROADCAST",
+    "ETHERNET_OVERHEAD",
+    "MIN_MEASURED_SIZE",
+    "MAX_MEASURED_SIZE",
+]

@@ -1,0 +1,100 @@
+"""Ethernet frame model and on-wire size accounting.
+
+Two sizes matter for the reproduction:
+
+* ``size`` — the *measured* packet size the paper reports: "data portion,
+  TCP or UDP header, IP header, and Ethernet header and trailer".  The
+  Ethernet header+trailer is 14 + 4 = 18 bytes, so a bare TCP ACK measures
+  18 + 20 + 20 = 58 bytes — exactly the paper's minimum — and a full
+  1460-byte TCP segment measures 1518 bytes, the paper's maximum.
+
+* ``wire_bytes`` — what actually occupies the medium: preamble (8 bytes),
+  header, payload padded to the 46-byte Ethernet minimum, and FCS.  This
+  drives transmission time on the 10 Mb/s bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "EthernetFrame",
+    "BROADCAST",
+    "ETHERNET_OVERHEAD",
+    "ETHERNET_HEADER",
+    "ETHERNET_FCS",
+    "ETHERNET_PREAMBLE",
+    "ETHERNET_MIN_PAYLOAD",
+    "ETHERNET_MAX_PAYLOAD",
+    "MAX_MEASURED_SIZE",
+    "MIN_MEASURED_SIZE",
+]
+
+#: Destination id meaning "all stations".
+BROADCAST = -1
+
+ETHERNET_HEADER = 14  # dst mac + src mac + ethertype
+ETHERNET_FCS = 4
+ETHERNET_PREAMBLE = 8  # preamble + SFD, on the wire but never measured
+ETHERNET_OVERHEAD = ETHERNET_HEADER + ETHERNET_FCS  # the 18 bytes tcpdump sees
+ETHERNET_MIN_PAYLOAD = 46
+ETHERNET_MAX_PAYLOAD = 1500
+
+#: Paper's packet-size bounds (Figure 3): 58-byte ACK to 1518-byte full frame.
+MIN_MEASURED_SIZE = ETHERNET_OVERHEAD + 40
+MAX_MEASURED_SIZE = ETHERNET_OVERHEAD + ETHERNET_MAX_PAYLOAD
+
+
+@dataclass
+class EthernetFrame:
+    """One Ethernet frame carrying an IP datagram.
+
+    Parameters
+    ----------
+    src, dst:
+        Station ids (small integers); ``dst`` may be :data:`BROADCAST`.
+    payload_size:
+        IP datagram length in bytes (IP header included).
+    payload:
+        The layer-3 object delivered to the receiving stack.
+    """
+
+    src: int
+    dst: int
+    payload_size: int
+    payload: Any = None
+
+    def __post_init__(self):
+        if self.payload_size < 0:
+            raise ValueError(f"negative payload size: {self.payload_size}")
+        if self.payload_size > ETHERNET_MAX_PAYLOAD:
+            raise ValueError(
+                f"payload {self.payload_size} exceeds Ethernet maximum "
+                f"{ETHERNET_MAX_PAYLOAD}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Measured size in bytes, using the paper's accounting."""
+        return ETHERNET_OVERHEAD + self.payload_size
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes that occupy the medium, including preamble and padding."""
+        return (
+            ETHERNET_PREAMBLE
+            + ETHERNET_HEADER
+            + max(ETHERNET_MIN_PAYLOAD, self.payload_size)
+            + ETHERNET_FCS
+        )
+
+    @property
+    def wire_bits(self) -> int:
+        return self.wire_bytes * 8
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (
+            f"<Frame {self.src}->{self.dst} size={self.size}B "
+            f"payload={type(self.payload).__name__}>"
+        )

@@ -1,0 +1,192 @@
+"""A shared-medium CSMA/CD Ethernet bus.
+
+All stations share one collision domain, as on the paper's multi-segment
+bridged Ethernet.  The model keeps the three pieces of MAC behaviour that
+shape the measured traffic:
+
+* **carrier sense** — a station defers while the medium is busy, which
+  serializes the synchronized bursts of SPMD communication phases;
+* **collisions** — stations that begin transmitting within one contention
+  window of each other collide, jam, and retry;
+* **binary exponential backoff** — retry delays randomize, breaking the
+  symmetry of simultaneous senders.
+
+The default 10 Mb/s bandwidth gives the paper's 1.25 MB/s aggregate
+ceiling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..des import Simulator
+from .frame import BROADCAST, EthernetFrame
+
+__all__ = ["EthernetBus", "BusStats"]
+
+
+class _Window:
+    """One contention window: stations starting within it collide."""
+
+    __slots__ = ("start", "members", "collided")
+
+    def __init__(self, start: float):
+        self.start = start
+        self.members = 0
+        self.collided = False
+
+
+@dataclass
+class BusStats:
+    """Counters accumulated over a simulation run."""
+
+    frames_delivered: int = 0
+    bytes_delivered: int = 0
+    collisions: int = 0
+    frames_dropped: int = 0
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` during which the medium carried frames."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class EthernetBus:
+    """The shared collision domain.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    bandwidth_bps:
+        Raw medium bandwidth; 10 Mb/s reproduces the paper's LAN.
+    slot_time:
+        Ethernet slot time (backoff quantum), 51.2 us at 10 Mb/s.
+    contention_window:
+        Window after a transmission begins during which another station's
+        start causes a collision (models propagation delay).
+    ifg_time:
+        Inter-frame gap, 9.6 us at 10 Mb/s.
+    max_attempts:
+        Attempts before a frame is dropped.  Real Ethernet gives up
+        after 16, and real TCP retransmits; TCP-lite has no
+        retransmission, so the default ``None`` retries forever (with
+        the backoff exponent capped) and the reliability contract moves
+        down to the MAC.  Pass an integer to study drops.
+    seed:
+        Seed for the backoff RNG — simulations are exactly repeatable.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 10e6,
+        slot_time: float = 51.2e-6,
+        contention_window: float = 25.6e-6,
+        ifg_time: float = 9.6e-6,
+        jam_time: float = 4.8e-6,
+        max_attempts: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.slot_time = slot_time
+        self.contention_window = contention_window
+        self.ifg_time = ifg_time
+        self.jam_time = jam_time
+        self.max_attempts = max_attempts
+        self.rng = random.Random(seed)
+        self.stats = BusStats()
+
+        self._busy_until: float = 0.0
+        self._window: Optional[_Window] = None
+        self._stations: Dict[int, Callable[[EthernetFrame, float], None]] = {}
+        self._listeners: List[Callable[[EthernetFrame, float], None]] = []
+
+    # -- wiring --------------------------------------------------------
+    def attach(self, station_id: int, rx: Callable[[EthernetFrame, float], None]):
+        """Register a station's receive handler."""
+        if station_id in self._stations:
+            raise ValueError(f"station id {station_id} already attached")
+        self._stations[station_id] = rx
+
+    def add_listener(self, listener: Callable[[EthernetFrame, float], None]):
+        """Attach a promiscuous listener that sees every delivered frame."""
+        self._listeners.append(listener)
+
+    @property
+    def capacity_bytes_per_s(self) -> float:
+        """Aggregate bandwidth in bytes/second (1.25 MB/s at 10 Mb/s)."""
+        return self.bandwidth_bps / 8.0
+
+    def tx_time(self, frame: EthernetFrame) -> float:
+        """Seconds the frame occupies the medium."""
+        return frame.wire_bits / self.bandwidth_bps
+
+    # -- MAC -------------------------------------------------------------
+    def transmit(self, frame: EthernetFrame):
+        """CSMA/CD transmission; a generator to ``yield from`` in a process.
+
+        Returns True on delivery, False if the frame was dropped after
+        ``max_attempts`` collisions.
+        """
+        sim = self.sim
+        attempt = 0
+        while True:
+            # Carrier sense: defer while the medium is busy.  The deadline
+            # may extend while we wait, so loop.
+            while sim.now < self._busy_until:
+                yield sim.timeout(self._busy_until - sim.now)
+
+            # Start transmitting: join (or open) the contention window.
+            w = self._window
+            if w is None or sim.now > w.start + self.contention_window:
+                w = _Window(sim.now)
+                self._window = w
+            w.members += 1
+            if w.members > 1 and not w.collided:
+                w.collided = True
+                self.stats.collisions += 1
+
+            yield sim.timeout(self.contention_window)
+
+            w.members -= 1
+            if w.members == 0 and self._window is w:
+                self._window = None
+
+            if w.collided:
+                # Collision: jam, back off, retry.
+                self._busy_until = max(self._busy_until, sim.now + self.jam_time)
+                attempt += 1
+                if self.max_attempts is not None and attempt >= self.max_attempts:
+                    self.stats.frames_dropped += 1
+                    return False
+                backoff = self.rng.randrange(0, 1 << min(attempt, 10))
+                yield sim.timeout(self.jam_time + backoff * self.slot_time)
+                continue
+
+            # Sole transmitter: hold the medium for the frame + IFG.
+            tx_time = self.tx_time(frame)
+            self._busy_until = max(self._busy_until, sim.now + tx_time + self.ifg_time)
+            yield sim.timeout(tx_time)
+            self.stats.busy_time += tx_time
+            self._deliver(frame)
+            return True
+
+    # -- delivery ---------------------------------------------------------
+    def _deliver(self, frame: EthernetFrame) -> None:
+        now = self.sim.now
+        self.stats.frames_delivered += 1
+        self.stats.bytes_delivered += frame.size
+        for listener in self._listeners:
+            listener(frame, now)
+        if frame.dst == BROADCAST:
+            for sid, rx in self._stations.items():
+                if sid != frame.src:
+                    rx(frame, now)
+        else:
+            rx = self._stations.get(frame.dst)
+            if rx is not None:
+                rx(frame, now)

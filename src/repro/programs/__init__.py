@@ -1,0 +1,31 @@
+"""The measured Fx programs: the five kernels of Figure 2, the AIRSHED
+skeleton, and the SHIFT example of the paper's QoS discussion."""
+
+from .airshed import Airshed
+from .calibration import CALIBRATIONS, ITERATIONS, Calibration, work_model_for
+from .fft2d import Fft2d
+from .hist import Hist
+from .registry import KERNELS, PROGRAMS, kernel_table, make_program, run_measured
+from .seq import Seq
+from .shift import Shift
+from .sor import Sor
+from .tfft2d import TaskFft2d
+
+__all__ = [
+    "Sor",
+    "Fft2d",
+    "TaskFft2d",
+    "Seq",
+    "Shift",
+    "Hist",
+    "Airshed",
+    "PROGRAMS",
+    "KERNELS",
+    "make_program",
+    "run_measured",
+    "kernel_table",
+    "Calibration",
+    "CALIBRATIONS",
+    "ITERATIONS",
+    "work_model_for",
+]

@@ -1,0 +1,128 @@
+"""AIRSHED: the multiscale air-quality model skeleton (paper §3.2).
+
+The program simulates the movement and reaction of ``s`` chemical
+species over ``p`` grid points in ``l`` atmospheric layers.  The
+concentration array is distributed by *layer*; horizontal transport is
+layer-local, but chemistry/vertical transport works on the *grid*
+dimension, so each step performs a distribution transpose (all-to-all,
+messages of O(p*s*l / P^2) bytes) before and after the chemistry phase.
+
+One outer iteration = one simulation hour:
+
+1. preprocessing — assemble and factor the stiffness matrices (no
+   communication);
+2. ``k`` steps, each: horizontal transport -> transpose ->
+   chemistry/vertical transport -> reverse transpose -> horizontal
+   transport.
+
+Compute is *derived from the problem dimensions* (factorization
+O(l * p^1.5), backsolves O(l * s * p), chemistry O(p * s)) with unit
+costs calibrated so the paper's configuration (s=35, p=1024, l=4, P=4)
+lands on ~35 s preprocessing, ~0.2 s horizontal and ~5 s chemistry per
+phase — producing the paper's three periodicities: ~66 s per hour
+(0.015 Hz), ~5 s chemistry spacing within a burst pair (0.2 Hz), and
+the sub-second horizontal-transport spacing between pairs (Figure 11's
+three spike families).  Because work scales with (s, p, l), problem-size
+sweeps shift periods and traffic predictably (`abl-airshed`).
+"""
+
+from __future__ import annotations
+
+from ..fx import FxProgram, Pattern, all_to_all
+
+__all__ = ["Airshed"]
+
+
+class Airshed(FxProgram):
+    """The Fx AIRSHED skeleton.
+
+    Parameters
+    ----------
+    species, grid_points, layers:
+        Problem dimensions (paper: s=35, p=1024, l=4).
+    steps_per_hour:
+        Simulation steps per hour (paper: k=5).
+    element_bytes:
+        Bytes per concentration value (REAL*4).
+    factor_unit, backsolve_unit, chem_unit:
+        Work-unit costs per elementary operation; the defaults calibrate
+        the paper configuration to its measured phase durations at the
+        1e6 units/s machine rate.
+    """
+
+    name = "airshed"
+    pattern = Pattern.ALL_TO_ALL
+
+    def __init__(
+        self,
+        species: int = 35,
+        grid_points: int = 1024,
+        layers: int = 4,
+        steps_per_hour: int = 5,
+        element_bytes: int = 4,
+        factor_unit: float = 1068.0,
+        backsolve_unit: float = 5.58,
+        chem_unit: float = 558.0,
+    ):
+        if min(species, grid_points, layers, steps_per_hour) < 1:
+            raise ValueError("problem dimensions must be positive")
+        if min(factor_unit, backsolve_unit, chem_unit) <= 0:
+            raise ValueError("unit costs must be positive")
+        self.species = species
+        self.grid_points = grid_points
+        self.layers = layers
+        self.steps_per_hour = steps_per_hour
+        self.element_bytes = element_bytes
+        self.factor_unit = factor_unit
+        self.backsolve_unit = backsolve_unit
+        self.chem_unit = chem_unit
+
+    # -- derived work (totals across all processors) ----------------------
+    @property
+    def preprocess_total(self) -> float:
+        """Stiffness assembly + factorization: one O(p^1.5) factor per
+        layer per hour."""
+        return self.layers * self.factor_unit * self.grid_points**1.5
+
+    @property
+    def horizontal_total(self) -> float:
+        """One horizontal transport phase: l*s backsolves of O(p)."""
+        return (
+            self.layers * self.species * self.backsolve_unit * self.grid_points
+        )
+
+    @property
+    def chemistry_total(self) -> float:
+        """One chemistry/vertical phase: per-grid-point integration
+        over s species."""
+        return self.grid_points * self.chem_unit * self.species
+
+    def transpose_bytes(self, P: int) -> int:
+        """The O(p*s*l / P^2) per-connection transpose message."""
+        total = self.grid_points * self.species * self.layers
+        return (total // (P * P)) * self.element_bytes
+
+    def rank_body(self, ctx):
+        """One simulation hour."""
+        P = ctx.nprocs
+        nbytes = self.transpose_bytes(P)
+        # Stiffness matrix assembly and factorization: once per hour.
+        yield ctx.compute(self.preprocess_total / P)
+        for step in range(self.steps_per_hour):
+            # Horizontal transport on the layer distribution.
+            yield ctx.compute(self.horizontal_total / P)
+            # Transpose to the grid distribution.
+            yield from all_to_all(ctx, nbytes, tag=2 * step)
+            # Chemistry / vertical transport per grid point.
+            yield ctx.compute(self.chemistry_total / P)
+            # Reverse transpose back to the layer distribution.
+            yield from all_to_all(ctx, nbytes, tag=2 * step + 1)
+            # Trailing horizontal transport of the step.
+            yield ctx.compute(self.horizontal_total / P)
+
+    # -- QoS metadata ----------------------------------------------------
+    def local_work(self, P: int) -> float:
+        return self.chemistry_total / P
+
+    def burst_bytes(self, P: int) -> int:
+        return self.transpose_bytes(P)

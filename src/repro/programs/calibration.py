@@ -1,0 +1,121 @@
+"""Calibration of the simulated testbed to the paper's measurements.
+
+The paper's absolute numbers come from 133 MHz Alpha workstations whose
+per-kernel efficiency we cannot know; what we *can* anchor is the shape:
+phase periods (the spectral fundamentals), message sizes (from the
+asymptotic descriptions with N = 512, P = 4), and the resulting relative
+bandwidth ordering.  Each record below fixes a work rate so the compute
+phases land on the target period, with targets quoted next to each.
+
+See DESIGN.md §5 for the full calibration table and the documented
+residuals (SOR's connection fundamental, HIST's absolute bandwidth).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..fx import WorkModel
+
+__all__ = ["Calibration", "CALIBRATIONS", "work_model_for", "ITERATIONS"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Machine/work parameters for one program."""
+
+    #: Abstract work units per second on one simulated Alpha.
+    work_rate: float
+    #: Relative jitter per compute phase.
+    jitter: float = 0.01
+    #: Expected OS deschedulings per second of compute.
+    deschedule_rate: float = 0.02
+    #: Mean extra delay when descheduled (s).
+    deschedule_mean: float = 0.15
+    #: Rationale string tying the numbers to the paper.
+    note: str = ""
+
+
+CALIBRATIONS: Dict[str, Calibration] = {
+    # SOR: N^2/P = 65536 updates per step; target step period ~1.75 s so
+    # the bandwidth/interarrival tables (5.6 KB/s aggregate, ~600 ms mean
+    # connection interarrival) are matched.
+    "sor": Calibration(
+        work_rate=30_000.0,
+        note="65536 stencil updates in ~2.18 s",
+    ),
+    # 2DFFT: two local FFT sweeps of (N^2/P) log2 N = 589824 butterflies
+    # each; target total compute ~0.7 s so the iteration period is ~2 s
+    # (0.5 Hz fundamental) and aggregate bandwidth ~750 KB/s.
+    "2dfft": Calibration(
+        work_rate=1_700_000.0,
+        note="2 x 589824 butterflies in ~0.69 s",
+    ),
+    # T2DFFT: each half does a full N^2 log2 N / (P/2) sweep.  The
+    # pipeline overlaps compute with communication, but the bounded
+    # socket buffer leaves ~0.55 s of each 1 MB send un-overlapped;
+    # compute of ~1.15 s puts the stage period at the paper's ~1.7 s,
+    # giving ~600 KB/s aggregate and ~150 KB/s per connection, below
+    # 2DFFT.
+    "t2dfft": Calibration(
+        work_rate=1_100_000.0,
+        note="1179648 butterflies per stage in ~1.07 s",
+    ),
+    # SEQ: element production on processor 0; one matrix row of data is
+    # generated per 240000 work units -> 4 rows/s, the paper's 4 Hz
+    # harmonic.
+    "seq": Calibration(
+        work_rate=1_000_000.0,
+        jitter=0.005,
+        deschedule_rate=0.01,
+        note="row generation at 4 Hz",
+    ),
+    # HIST: local histogram of N^2/P = 65536 elements; target ~0.18 s so
+    # the iteration period is ~200 ms, the paper's 5 Hz fundamental.
+    "hist": Calibration(
+        work_rate=360_000.0,
+        note="65536 histogram inserts in ~0.182 s",
+    ),
+    # SHIFT: the paper's §7.3 example program; W = 1.6e6 units at unit
+    # rate -> 0.4 s compute per step at P = 4.
+    "shift": Calibration(
+        work_rate=1_000_000.0,
+        note="W/P compute + one 64 KB block per step",
+    ),
+    # AIRSHED: phases are specified directly in seconds of work at unit
+    # rate: preprocessing ~35 s, horizontal transport ~0.2 s,
+    # chemistry/vertical ~5 s -> the paper's 66 s / 5 s / 200 ms scales.
+    "airshed": Calibration(
+        work_rate=1_000_000.0,
+        jitter=0.008,
+        deschedule_rate=0.005,
+        note="phase durations encoded as work at 1e6 units/s",
+    ),
+}
+
+
+#: Outer-loop iteration counts: paper's run lengths and scaled-down
+#: variants for tests and quick benchmarks.
+ITERATIONS: Dict[str, Dict[str, int]] = {
+    "sor":     {"full": 100, "default": 30, "smoke": 6},
+    "2dfft":   {"full": 100, "default": 25, "smoke": 5},
+    "t2dfft":  {"full": 100, "default": 25, "smoke": 5},
+    "seq":     {"full": 5,   "default": 2,  "smoke": 1},
+    "hist":    {"full": 100, "default": 50, "smoke": 10},
+    "shift":   {"full": 100, "default": 30, "smoke": 6},
+    "airshed": {"full": 100, "default": 12, "smoke": 3},
+}
+
+
+def work_model_for(name: str, seed: int = 0) -> WorkModel:
+    """A seeded :class:`WorkModel` calibrated for program ``name``."""
+    cal = CALIBRATIONS[name]
+    return WorkModel(
+        rate=cal.work_rate,
+        jitter=cal.jitter,
+        deschedule_rate=cal.deschedule_rate,
+        deschedule_mean=cal.deschedule_mean,
+        rng=random.Random(seed),
+    )

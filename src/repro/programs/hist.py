@@ -1,0 +1,68 @@
+"""HIST: 2D image histogram — the *tree* pattern kernel.
+
+Rows of the N x N input are distributed over the processors.  Each
+processor builds a local histogram vector; log2(P) tree steps merge the
+vectors toward processor 0 (at step i, odd multiples of 2^i send to even
+multiples and drop out); finally processor 0 broadcasts the complete
+histogram to everyone.
+
+With 512 4-byte bins the histogram vector is a 2 KB message — larger
+than one MSS, so the kernel's packets are trimodal (1518-byte full
+segment, remainder segment, 58-byte ACKs), as the paper notes for HIST.
+The local-histogram compute phase is calibrated to ~180 ms, putting the
+iteration fundamental at the paper's 5 Hz.
+"""
+
+from __future__ import annotations
+
+from ..fx import FxProgram, Pattern, tree_broadcast, tree_reduce
+
+__all__ = ["Hist"]
+
+
+class Hist(FxProgram):
+    """Histogram kernel with tree merge and result broadcast.
+
+    Parameters
+    ----------
+    n:
+        Input matrix dimension (paper: 512).
+    bins:
+        Histogram bins.
+    bin_bytes:
+        Bytes per bin counter (INTEGER*4).
+    merge_work:
+        Work to merge one incoming histogram vector (per tree step).
+    """
+
+    name = "hist"
+    pattern = Pattern.TREE
+
+    def __init__(self, n: int = 512, bins: int = 512, bin_bytes: int = 4,
+                 merge_work: float = 1024.0):
+        if n < 1 or bins < 1:
+            raise ValueError("n and bins must be positive")
+        self.n = n
+        self.bins = bins
+        self.bin_bytes = bin_bytes
+        self.merge_work = merge_work
+
+    @property
+    def vector_bytes(self) -> int:
+        """The histogram vector exchanged at every tree step."""
+        return self.bins * self.bin_bytes
+
+    def rank_body(self, ctx):
+        # Local histogram over the owned rows.
+        yield ctx.compute(self.local_work(ctx.nprocs))
+        # Tree merge toward rank 0, then broadcast the full histogram.
+        yield from tree_reduce(ctx, self.vector_bytes, tag=0,
+                               merge_work=self.merge_work)
+        yield from tree_broadcast(ctx, self.vector_bytes, tag=1)
+
+    # -- QoS metadata ----------------------------------------------------
+    def local_work(self, P: int) -> float:
+        return (self.n * self.n) / P
+
+    def burst_bytes(self, P: int) -> int:
+        return self.vector_bytes

@@ -1,0 +1,110 @@
+"""Registry of the measured programs (paper Figure 2) and run helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..capture import PacketTrace
+from ..fx import FxCluster, FxProgram, FxRuntime, Pattern
+from ..pvm import Route
+from .airshed import Airshed
+from .calibration import ITERATIONS, work_model_for
+from .fft2d import Fft2d
+from .hist import Hist
+from .seq import Seq
+from .shift import Shift
+from .sor import Sor
+from .tfft2d import TaskFft2d
+
+__all__ = ["PROGRAMS", "KERNELS", "make_program", "run_measured", "kernel_table"]
+
+#: The six measured programs plus the paper's §7.3 SHIFT example.
+PROGRAMS: Dict[str, Type[FxProgram]] = {
+    "sor": Sor,
+    "shift": Shift,
+    "2dfft": Fft2d,
+    "t2dfft": TaskFft2d,
+    "seq": Seq,
+    "hist": Hist,
+    "airshed": Airshed,
+}
+
+#: The five kernels of paper Figure 2 (AIRSHED is the "real" application).
+KERNELS = ("sor", "2dfft", "t2dfft", "seq", "hist")
+
+
+def make_program(name: str, **kwargs) -> FxProgram:
+    """Instantiate a program by registry name."""
+    try:
+        cls = PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; known: {sorted(PROGRAMS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def run_measured(
+    name: str,
+    scale: str = "default",
+    nprocs: int = 4,
+    seed: int = 0,
+    iterations: Optional[int] = None,
+    route: Route = Route.DIRECT,
+    program_kwargs: Optional[dict] = None,
+    cluster_kwargs: Optional[dict] = None,
+) -> PacketTrace:
+    """Reproduce one of the paper's measurement runs.
+
+    Builds the calibrated testbed (P+1 machines — the extra one is the
+    passive measurement workstation — on a 10 Mb/s shared Ethernet),
+    runs the named program for the scale's iteration count, and returns
+    the promiscuous packet trace.
+
+    Parameters
+    ----------
+    scale:
+        "full" (the paper's iteration counts), "default", or "smoke".
+    iterations:
+        Overrides the scale's iteration count when given.
+    cluster_kwargs:
+        Extra :class:`FxCluster` options (``bandwidth_bps``,
+        ``keepalive_interval``, ``tcp_kwargs``, ...) for ablations.
+    """
+    if iterations is None:
+        try:
+            iterations = ITERATIONS[name][scale]
+        except KeyError:
+            raise KeyError(
+                f"unknown scale {scale!r} for {name!r}; "
+                f"known: {sorted(ITERATIONS.get(name, {}))}"
+            ) from None
+    program = make_program(name, **(program_kwargs or {}))
+    cluster = FxCluster(n_machines=nprocs + 1, seed=seed,
+                        **(cluster_kwargs or {}))
+    runtime = FxRuntime(
+        cluster, nprocs, work_model_for(name, seed=seed), route=route
+    )
+    return runtime.execute(program, iterations)
+
+
+def kernel_table() -> list:
+    """Paper Figure 2: pattern / kernel / description rows."""
+    descriptions = {
+        "sor": "2D Successive overrelaxation",
+        "2dfft": "2D Data parallel FFT",
+        "t2dfft": "2D Task parallel FFT",
+        "seq": "Sequential I/O",
+        "hist": "2D Image histogram",
+    }
+    rows = []
+    for name in KERNELS:
+        cls = PROGRAMS[name]
+        rows.append(
+            {
+                "pattern": str(cls.pattern),
+                "kernel": name.upper(),
+                "description": descriptions[name],
+            }
+        )
+    return rows

@@ -1,0 +1,52 @@
+"""SHIFT: the periodic ring-shift program of the paper's §7.3 example.
+
+"Consider a simple parallel program where each processor generates
+periodic bursts along one of its connections (a shift pattern)."  Each
+rank computes W work, then sends an N-byte block to its right neighbour
+and receives from its left — one active connection per processor, the
+cleanest possible instance of the paper's burst-interval model
+t_bi = W/P + N/B.  Not one of the six measured programs, but the
+program §7.3 reasons about, so it ships as a first-class workload for
+the QoS experiments.
+"""
+
+from __future__ import annotations
+
+from ..fx import FxProgram, Pattern
+
+__all__ = ["Shift"]
+
+
+class Shift(FxProgram):
+    """Ring shift: compute, send right, receive left.
+
+    Parameters
+    ----------
+    block_bytes:
+        N, the constant burst size along each connection.
+    total_work:
+        W, the total work per step, divided over the P processors.
+    """
+
+    name = "shift"
+    pattern = Pattern.NEIGHBOR  # closest Figure-1 pattern (ring of neighbours)
+
+    def __init__(self, block_bytes: int = 65536, total_work: float = 1.6e6):
+        if block_bytes < 1 or total_work < 0:
+            raise ValueError("block_bytes must be >= 1 and total_work >= 0")
+        self.block_bytes = block_bytes
+        self.total_work = total_work
+
+    def rank_body(self, ctx):
+        right = (ctx.rank + 1) % ctx.nprocs
+        left = (ctx.rank - 1) % ctx.nprocs
+        yield ctx.compute(self.total_work / ctx.nprocs)
+        yield from ctx.send(right, self.block_bytes, tag=0)
+        yield ctx.recv(left, tag=0)
+
+    # -- QoS metadata: literally W/P and N ------------------------------
+    def local_work(self, P: int) -> float:
+        return self.total_work / P
+
+    def burst_bytes(self, P: int) -> int:
+        return self.block_bytes

@@ -1,0 +1,88 @@
+"""T2DFFT: pipelined, task-parallel 2D FFT — the *partition* kernel.
+
+Half of the processors run row FFTs and stream the results to the other
+half, which run the column FFTs; the communication doubles as the
+distribution transpose.  Each sender's message to each receiver is twice
+as large as 2DFFT's for the same P (paper §3.1).
+
+Crucially for the measured traffic, T2DFFT does *not* assemble its
+message in a copy loop: it packs row by row, so PVM carries the message
+as a fragment list and writes each fragment separately (paper §4).  That
+is modelled with ``fragments=rows_per_message``, and it is what smears
+T2DFFT's packet-size distribution while the other kernels stay cleanly
+trimodal.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..fx import FxProgram, Pattern, partition_recv, partition_send
+
+__all__ = ["TaskFft2d"]
+
+
+class TaskFft2d(FxProgram):
+    """Task-parallel pipelined 2D FFT kernel.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (paper: 512).
+    element_bytes:
+        Bytes per element (8-byte COMPLEX).
+    multi_pack:
+        True (the measured program): one ``pvm_pk*`` per matrix row, so
+        PVM sends a fragment list.  False: assemble in a copy loop like
+        the other kernels — the packet-size ablation's counterfactual.
+    """
+
+    name = "t2dfft"
+    pattern = Pattern.PARTITION
+
+    def __init__(self, n: int = 512, element_bytes: int = 8,
+                 multi_pack: bool = True):
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        self.n = n
+        self.element_bytes = element_bytes
+        self.multi_pack = multi_pack
+
+    def message_bytes(self, P: int) -> int:
+        """Twice 2DFFT's O((N/P)^2) block (paper §3.1)."""
+        return 2 * (self.n // P) ** 2 * self.element_bytes
+
+    def fragments(self, P: int) -> int:
+        """Rows per message: one PVM pack per matrix row (1 when the
+        copy-loop variant is selected)."""
+        if not self.multi_pack:
+            return 1
+        row_bytes = self.n * self.element_bytes
+        return max(1, self.message_bytes(P) // row_bytes)
+
+    def _stage_work(self, P: int) -> float:
+        """Per-stage FFT sweep on one half: N^2 log2 N / (P/2)."""
+        half = max(1, P // 2)
+        return (self.n * self.n) * math.log2(self.n) / half
+
+    def rank_body(self, ctx):
+        P = ctx.nprocs
+        half = P // 2
+        nbytes = self.message_bytes(P)
+        if ctx.rank < half:
+            # Sender half: row FFTs, then stream blocks to each receiver.
+            yield ctx.compute(self._stage_work(P))
+            yield from partition_send(
+                ctx, nbytes, tag=0, fragments=self.fragments(P)
+            )
+        else:
+            # Receiver half: collect a block from each sender, column FFTs.
+            yield from partition_recv(ctx, tag=0)
+            yield ctx.compute(self._stage_work(P))
+
+    # -- QoS metadata ----------------------------------------------------
+    def local_work(self, P: int) -> float:
+        return self._stage_work(P)
+
+    def burst_bytes(self, P: int) -> int:
+        return self.message_bytes(P)

@@ -1,0 +1,18 @@
+"""PVM layer: message buffers, daemons, and the virtual machine."""
+
+from .daemon import KEEPALIVE_BYTES, PVMD_PORT, PvmDaemon
+from .message import MSG_HEADER, PvmMessage, TaskMessage
+from .vm import PvmMachine, PvmTask, Route, VirtualMachine
+
+__all__ = [
+    "VirtualMachine",
+    "PvmMachine",
+    "PvmTask",
+    "PvmMessage",
+    "TaskMessage",
+    "PvmDaemon",
+    "Route",
+    "MSG_HEADER",
+    "PVMD_PORT",
+    "KEEPALIVE_BYTES",
+]

@@ -1,0 +1,90 @@
+"""The pvmd daemon: per-machine message router and background chatter.
+
+Two observable behaviours are modelled:
+
+* the **daemon route** for task-to-task messages (the PVM default): the
+  message hops task → local daemon (IPC) → remote daemon (UDP) → remote
+  task (IPC);
+* periodic low-rate **UDP keepalive traffic** between daemons, which the
+  paper's promiscuous traces picked up alongside the TCP data streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..des import Simulator, Store
+
+__all__ = ["PvmDaemon", "PVMD_PORT", "KEEPALIVE_BYTES"]
+
+#: UDP port the daemons listen on.
+PVMD_PORT = 1079
+
+#: Size of one daemon keepalive/status datagram.
+KEEPALIVE_BYTES = 72
+
+
+class PvmDaemon:
+    """One machine's pvmd.
+
+    Parameters
+    ----------
+    stack:
+        The machine's :class:`~repro.transport.HostStack`.
+    vm:
+        Owning :class:`~repro.pvm.vm.VirtualMachine` (used to find peer
+        daemons and deliver to local tasks).
+    keepalive_interval:
+        Seconds between keepalive rounds; 0 disables chatter.
+    """
+
+    def __init__(self, sim: Simulator, stack, vm,
+                 keepalive_interval: float = 0.0):
+        self.sim = sim
+        self.stack = stack
+        self.vm = vm
+        self.keepalive_interval = keepalive_interval
+        self.sock = stack.udp_socket(PVMD_PORT)
+        self.datagrams_routed = 0
+        sim.process(self._rx_loop(), name=f"pvmd{stack.host_id}-rx")
+        if keepalive_interval > 0:
+            sim.process(self._keepalive_loop(), name=f"pvmd{stack.host_id}-ka")
+
+    # -- daemon route ----------------------------------------------------
+    def forward(self, task_msg, dst_host: int) -> None:
+        """Send a task message to the peer daemon on ``dst_host`` via UDP."""
+        self.datagrams_routed += 1
+        self.sock.sendto(
+            task_msg.nbytes,
+            dst_host=dst_host,
+            dst_port=PVMD_PORT,
+            obj=task_msg,
+        )
+
+    def _rx_loop(self):
+        while True:
+            dgram = yield self.sock.mailbox.get()
+            task_msg = dgram.obj
+            if task_msg is None:
+                continue  # keepalive
+            # Deliver to the destination task via local IPC.
+            yield self.sim.timeout(self.vm.ipc_latency)
+            self.vm.deliver_local(task_msg)
+
+    # -- keepalive chatter -------------------------------------------------
+    def _keepalive_loop(self):
+        # Stagger daemons so their keepalives don't all collide.
+        yield self.sim.timeout(
+            self.keepalive_interval * (self.stack.host_id + 1)
+            / max(1, len(self.vm.machines))
+        )
+        while True:
+            for peer in self.vm.machines:
+                if peer.stack.host_id != self.stack.host_id:
+                    self.sock.sendto(
+                        KEEPALIVE_BYTES,
+                        dst_host=peer.stack.host_id,
+                        dst_port=PVMD_PORT,
+                        obj=None,
+                    )
+            yield self.sim.timeout(self.keepalive_interval)

@@ -1,0 +1,33 @@
+"""Transport layer: TCP-lite and UDP-lite over the simulated Ethernet."""
+
+from .headers import (
+    IP_HEADER,
+    IP_MTU,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_HEADER,
+    TCP_MSS,
+    UDP_HEADER,
+    UDP_MAX_PAYLOAD,
+)
+from .stack import HostStack
+from .tcp import DeliveredMessage, TcpConnection, TcpPipe, TcpSegment
+from .udp import UdpDatagram, UdpSocket
+
+__all__ = [
+    "HostStack",
+    "TcpConnection",
+    "TcpPipe",
+    "TcpSegment",
+    "DeliveredMessage",
+    "UdpSocket",
+    "UdpDatagram",
+    "IP_HEADER",
+    "TCP_HEADER",
+    "UDP_HEADER",
+    "IP_MTU",
+    "TCP_MSS",
+    "UDP_MAX_PAYLOAD",
+    "PROTO_TCP",
+    "PROTO_UDP",
+]

@@ -1,0 +1,36 @@
+"""Protocol header sizes and constants.
+
+These numbers drive the packet sizes the paper measures: an empty TCP
+segment is 40 bytes of IP+TCP header, which the 18-byte Ethernet
+overhead turns into the paper's 58-byte minimum packet; a full segment is
+IP_MTU = 1500 bytes, i.e. the 1518-byte maximum.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "IP_HEADER",
+    "TCP_HEADER",
+    "UDP_HEADER",
+    "IP_MTU",
+    "TCP_MSS",
+    "UDP_MAX_PAYLOAD",
+    "PROTO_TCP",
+    "PROTO_UDP",
+]
+
+IP_HEADER = 20
+TCP_HEADER = 20
+UDP_HEADER = 8
+
+#: Maximum IP datagram carried by one Ethernet frame.
+IP_MTU = 1500
+
+#: Maximum TCP payload per segment on Ethernet.
+TCP_MSS = IP_MTU - IP_HEADER - TCP_HEADER  # 1460
+
+#: Maximum UDP payload without IP fragmentation.
+UDP_MAX_PAYLOAD = IP_MTU - IP_HEADER - UDP_HEADER  # 1472
+
+PROTO_TCP = 6
+PROTO_UDP = 17

@@ -1,0 +1,88 @@
+"""Per-host protocol stack: frames in, TCP/UDP objects out.
+
+Each simulated workstation owns one :class:`HostStack` wired to its NIC.
+The stack turns transport PDUs into Ethernet frames on the way out and
+demultiplexes arriving frames to TCP pipes or UDP sockets on the way in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from ..des import Simulator
+from ..net import EthernetFrame, Nic
+from .tcp import TcpConnection, TcpSegment
+from .udp import UdpDatagram, UdpSocket
+
+__all__ = ["HostStack"]
+
+
+class HostStack:
+    """The IP/transport stack of one simulated host."""
+
+    #: First ephemeral port handed out by :meth:`udp_socket`.
+    EPHEMERAL_BASE = 1024
+
+    def __init__(self, sim: Simulator, nic: Nic, host_id: int, name: str = ""):
+        self.sim = sim
+        self.nic = nic
+        self.host_id = host_id
+        self.name = name or f"host{host_id}"
+        self._udp_ports: Dict[int, UdpSocket] = {}
+        self._next_port = self.EPHEMERAL_BASE
+        nic.set_rx_handler(self._on_frame)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"<HostStack {self.name} id={self.host_id}>"
+
+    # -- outbound ---------------------------------------------------------
+    def emit(self, dst_host: int, pdu: Union[TcpSegment, UdpDatagram]):
+        """Wrap a transport PDU in a frame and queue it on the NIC.
+
+        Returns the NIC's wire-completion event.
+        """
+        frame = EthernetFrame(
+            src=self.host_id,
+            dst=dst_host,
+            payload_size=pdu.payload_size,
+            payload=pdu,
+        )
+        return self.nic.send(frame)
+
+    # -- connection / socket factories ------------------------------------
+    def connect(self, peer: "HostStack", **pipe_kwargs) -> TcpConnection:
+        """Open a TCP connection to ``peer`` (established instantly).
+
+        The three-way handshake is 3 small frames per program run —
+        negligible against the traces measured here — so connections come
+        up established, as the paper's long-lived PVM routes effectively
+        were.
+        """
+        return TcpConnection(self, peer, **pipe_kwargs)
+
+    def udp_socket(self, port: int = 0) -> UdpSocket:
+        """Bind a UDP socket; ``port=0`` picks the next ephemeral port."""
+        if port == 0:
+            while self._next_port in self._udp_ports:
+                self._next_port += 1
+            port = self._next_port
+            self._next_port += 1
+        if port in self._udp_ports:
+            raise ValueError(f"UDP port {port} already bound on {self.name}")
+        sock = UdpSocket(self.sim, self, port)
+        self._udp_ports[port] = sock
+        return sock
+
+    # -- inbound ------------------------------------------------------------
+    def _on_frame(self, frame: EthernetFrame, now: float) -> None:
+        pdu = frame.payload
+        if isinstance(pdu, TcpSegment):
+            if pdu.is_ack:
+                pdu.pipe.on_ack(pdu, now)
+            else:
+                pdu.pipe.on_data_segment(pdu, now)
+        elif isinstance(pdu, UdpDatagram):
+            sock = self._udp_ports.get(pdu.dst_port)
+            if sock is not None:
+                sock._on_datagram(pdu, now)
+        # Unknown payloads (raw probe frames in tests) are ignored.

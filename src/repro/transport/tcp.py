@@ -1,0 +1,277 @@
+"""TCP-lite: reliable byte-stream transport over the simulated Ethernet.
+
+The simulated MAC layer retries until delivery, so this TCP needs no
+retransmission machinery.  What it *does* model is everything that shapes
+the measured traffic:
+
+* segmentation at the MSS — large messages become runs of 1518-byte
+  frames plus one remainder frame (the paper's trimodal size histograms);
+* a sliding window that paces the sender off returning ACKs;
+* delayed ACKs (ack-every-second-segment with a 200 ms fallback timer) —
+  the source of the 58-byte packet population;
+* *pushed* writes: PVM writes every message — and every fragment of a
+  multi-pack message — with TCP_NODELAY, so each write's bytes are
+  segmented on their own; segments never span a push boundary.  This is
+  why T2DFFT's fragment-list messages produce a variety of packet sizes
+  (one odd remainder per fragment) while copy-loop kernels produce clean
+  trimodal traffic (paper §4/§6.1), and why SEQ's element messages each
+  ride their own 90-byte frame;
+* bounded socket send buffer, so the application blocks and stays
+  synchronized with its peers.
+
+Sequence and delivery bookkeeping is done in byte counts; payload bytes
+are never materialized.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional, Tuple
+
+from ..des import Event, Simulator, Store
+from ..net import EthernetFrame
+from .headers import IP_HEADER, TCP_HEADER, TCP_MSS
+
+__all__ = ["TcpPipe", "TcpConnection", "TcpSegment", "DeliveredMessage"]
+
+#: Fixed IP+TCP header bytes per segment.
+TCP_OVERHEAD = IP_HEADER + TCP_HEADER  # 40
+
+
+class TcpSegment:
+    """One TCP segment on the wire (data or pure ACK)."""
+
+    __slots__ = ("pipe", "seq", "data_len", "ack_no", "is_ack")
+
+    def __init__(self, pipe: "TcpPipe", seq: int, data_len: int,
+                 ack_no: int = 0, is_ack: bool = False):
+        self.pipe = pipe
+        self.seq = seq
+        self.data_len = data_len
+        self.ack_no = ack_no
+        self.is_ack = is_ack
+
+    @property
+    def payload_size(self) -> int:
+        """IP datagram size: headers plus data."""
+        return TCP_OVERHEAD + self.data_len
+
+
+@dataclass
+class DeliveredMessage:
+    """An application message handed up by the receiving endpoint."""
+
+    obj: Any
+    nbytes: int
+    src_host: int
+    dst_host: int
+    time: float
+
+
+class TcpPipe:
+    """One direction of a TCP connection: src host sends, dst host receives.
+
+    ACKs for this pipe travel on the reverse path as 58-byte frames.
+
+    Parameters
+    ----------
+    window:
+        Sender window in bytes (receiver's advertised window).
+    sndbuf:
+        Socket send-buffer size; :meth:`send` blocks when it is full.
+    mss:
+        Maximum segment payload.
+    delayed_ack_timeout:
+        Fallback delayed-ACK timer (BSD-style 200 ms).
+    ack_every:
+        Send an immediate ACK after this many unacknowledged segments.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src_stack,
+        dst_stack,
+        window: int = 32768,
+        sndbuf: int = 65536,
+        mss: int = TCP_MSS,
+        delayed_ack_timeout: float = 0.2,
+        ack_every: int = 2,
+    ):
+        if window <= 0 or sndbuf <= 0 or mss <= 0:
+            raise ValueError("window, sndbuf, and mss must be positive")
+        if mss > TCP_MSS:
+            raise ValueError(f"mss {mss} exceeds Ethernet MSS {TCP_MSS}")
+        self.sim = sim
+        self.src_stack = src_stack
+        self.dst_stack = dst_stack
+        self.window = window
+        self.sndbuf = sndbuf
+        self.mss = mss
+        self.delayed_ack_timeout = delayed_ack_timeout
+        self.ack_every = ack_every
+
+        # sender state (lives on src host)
+        self._enqueued = 0          # total bytes accepted from the app
+        self._snd_nxt = 0           # next byte to transmit
+        self._snd_una = 0           # lowest unacknowledged byte
+        self._markers: Deque[Tuple[int, Any, int]] = deque()  # (end, obj, nbytes)
+        self._push_offsets: Deque[int] = deque()  # segment-boundary fences
+        self._send_waiters: Deque[Tuple[Event, int]] = deque()
+        self._wakeup: Optional[Event] = None
+
+        # receiver state (lives on dst host)
+        self._rcv_bytes = 0         # contiguous bytes received
+        self._segs_since_ack = 0
+        self._ack_timer_token = 0
+        self._ack_timer_armed = False
+        self.mailbox: Store = Store(sim)
+
+        # stats
+        self.segments_sent = 0
+        self.acks_sent = 0
+        self.bytes_sent = 0
+
+        self._sender_proc = sim.process(self._sender(), name="tcp-sender")
+
+    # -- application interface (sender side) --------------------------
+    def send(self, nbytes: int, obj: Any = None, push: bool = True) -> Event:
+        """Queue an application message of ``nbytes``.
+
+        The returned event fires when the message has been fully accepted
+        into the socket send buffer (possibly immediately).  Waiting on it
+        gives PVM's blocking-send semantics.
+
+        ``push`` (the default — PVM sets TCP_NODELAY) fences the write:
+        no segment will span the boundary between these bytes and a
+        later write, so every write's final segment is its own (possibly
+        small) packet.  ``push=False`` lets the stream coalesce across
+        the boundary.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        ev = Event(self.sim)
+        self._enqueued += nbytes
+        self._markers.append((self._enqueued, obj, nbytes))
+        if push:
+            self._push_offsets.append(self._enqueued)
+        if self._buffer_used() <= self.sndbuf:
+            ev.succeed()
+        else:
+            # Fires once enough bytes have been ACKed out of the buffer.
+            self._send_waiters.append((ev, self._enqueued))
+        self._wake_sender()
+        return ev
+
+    def _buffer_used(self) -> int:
+        return self._enqueued - self._snd_una
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return self._snd_nxt - self._snd_una
+
+    @property
+    def bytes_unsent(self) -> int:
+        return self._enqueued - self._snd_nxt
+
+    # -- sender process ------------------------------------------------
+    def _wake_sender(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _sender(self):
+        sim = self.sim
+        while True:
+            avail = self._enqueued - self._snd_nxt
+            space = self.window - (self._snd_nxt - self._snd_una)
+            if avail <= 0 or space <= 0:
+                self._wakeup = sim.event()
+                yield self._wakeup
+                continue
+            data_len = min(self.mss, avail, space)
+            # Respect push fences: never cut a segment across one.
+            while self._push_offsets and self._push_offsets[0] <= self._snd_nxt:
+                self._push_offsets.popleft()
+            if self._push_offsets:
+                data_len = min(data_len, self._push_offsets[0] - self._snd_nxt)
+            seg = TcpSegment(self, self._snd_nxt, data_len)
+            self._snd_nxt += data_len
+            self.segments_sent += 1
+            self.bytes_sent += data_len
+            # Wait for the frame to leave the wire before cutting the next
+            # segment.  Segments are thus cut *late*, from whatever bytes
+            # have accumulated — small application writes coalesce into
+            # full segments whenever they outpace the medium, which is the
+            # stream behaviour behind the paper's packet-size shapes.
+            yield self.src_stack.emit(self.dst_stack.host_id, seg)
+
+    # -- receiver side ---------------------------------------------------
+    def on_data_segment(self, seg: TcpSegment, now: float) -> None:
+        """Called by the destination stack when a data segment arrives."""
+        self._rcv_bytes += seg.data_len
+        # Deliver any application messages now fully received.
+        while self._markers and self._markers[0][0] <= self._rcv_bytes:
+            _end, obj, nbytes = self._markers.popleft()
+            self.mailbox.put(
+                DeliveredMessage(
+                    obj=obj,
+                    nbytes=nbytes,
+                    src_host=self.src_stack.host_id,
+                    dst_host=self.dst_stack.host_id,
+                    time=now,
+                )
+            )
+        # Delayed-ACK policy.
+        self._segs_since_ack += 1
+        if self._segs_since_ack >= self.ack_every:
+            self._send_ack()
+        elif not self._ack_timer_armed:
+            self._ack_timer_armed = True
+            self._ack_timer_token += 1
+            self.sim.process(
+                self._ack_timer(self._ack_timer_token), name="tcp-ack-timer"
+            )
+
+    def _ack_timer(self, token: int):
+        yield self.sim.timeout(self.delayed_ack_timeout)
+        if self._ack_timer_armed and token == self._ack_timer_token:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        self._segs_since_ack = 0
+        self._ack_timer_armed = False
+        ack = TcpSegment(self, 0, 0, ack_no=self._rcv_bytes, is_ack=True)
+        self.acks_sent += 1
+        self.dst_stack.emit(self.src_stack.host_id, ack)
+
+    # -- ACK arrival (back on sender side) -------------------------------
+    def on_ack(self, seg: TcpSegment, now: float) -> None:
+        if seg.ack_no > self._snd_una:
+            self._snd_una = seg.ack_no
+            self._wake_sender()
+            while self._send_waiters and (
+                self._send_waiters[0][1] - self._snd_una <= self.sndbuf
+            ):
+                ev, _end = self._send_waiters.popleft()
+                ev.succeed()
+
+
+class TcpConnection:
+    """A full-duplex TCP connection: two pipes between two host stacks."""
+
+    def __init__(self, stack_a, stack_b, **pipe_kwargs):
+        if stack_a.host_id == stack_b.host_id:
+            raise ValueError("TCP connection endpoints must differ")
+        self.stack_a = stack_a
+        self.stack_b = stack_b
+        self.forward = TcpPipe(stack_a.sim, stack_a, stack_b, **pipe_kwargs)
+        self.reverse = TcpPipe(stack_a.sim, stack_b, stack_a, **pipe_kwargs)
+
+    def pipe_from(self, host_id: int) -> TcpPipe:
+        """The sending pipe whose source is ``host_id``."""
+        if host_id == self.stack_a.host_id:
+            return self.forward
+        if host_id == self.stack_b.host_id:
+            return self.reverse
+        raise ValueError(f"host {host_id} is not an endpoint of this connection")

@@ -1,0 +1,108 @@
+"""UDP-lite: connectionless datagrams, used by the PVM daemons.
+
+Datagrams larger than one MTU are IP-fragmented into MTU-sized frames;
+the last fragment delivers the payload object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..des import Simulator, Store
+from .headers import IP_HEADER, IP_MTU, UDP_HEADER, UDP_MAX_PAYLOAD
+
+__all__ = ["UdpDatagram", "UdpSocket"]
+
+
+class UdpDatagram:
+    """One UDP datagram fragment on the wire."""
+
+    __slots__ = ("src_host", "dst_host", "src_port", "dst_port",
+                 "data_len", "obj", "is_last", "is_first")
+
+    def __init__(self, src_host, dst_host, src_port, dst_port,
+                 data_len, obj=None, is_first=True, is_last=True):
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.data_len = data_len
+        self.obj = obj
+        self.is_first = is_first
+        self.is_last = is_last
+
+    @property
+    def payload_size(self) -> int:
+        """IP datagram size on the wire."""
+        header = UDP_HEADER if self.is_first else 0
+        return IP_HEADER + header + self.data_len
+
+
+@dataclass
+class UdpMessage:
+    """A reassembled datagram handed to the receiving socket."""
+
+    obj: Any
+    nbytes: int
+    src_host: int
+    src_port: int
+    time: float
+
+
+class UdpSocket:
+    """A bound UDP port on one host."""
+
+    def __init__(self, sim: Simulator, stack, port: int):
+        self.sim = sim
+        self.stack = stack
+        self.port = port
+        self.mailbox: Store = Store(sim)
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    def sendto(self, nbytes: int, dst_host: int, dst_port: int, obj: Any = None):
+        """Send ``nbytes`` to (dst_host, dst_port); fire-and-forget.
+
+        Large payloads are IP-fragmented.  Returns the wire-completion
+        event of the last fragment.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative datagram size: {nbytes}")
+        self.datagrams_sent += 1
+        remaining = nbytes
+        first = True
+        done = None
+        while True:
+            limit = UDP_MAX_PAYLOAD if first else IP_MTU - IP_HEADER
+            chunk = min(remaining, limit)
+            remaining -= chunk
+            last = remaining == 0
+            dg = UdpDatagram(
+                src_host=self.stack.host_id,
+                dst_host=dst_host,
+                src_port=self.port,
+                dst_port=dst_port,
+                data_len=chunk,
+                obj=(obj, nbytes) if last else None,
+                is_first=first,
+                is_last=last,
+            )
+            done = self.stack.emit(dst_host, dg)
+            if last:
+                return done
+            first = False
+
+    def _on_datagram(self, dg: UdpDatagram, now: float) -> None:
+        if dg.is_last:
+            self.datagrams_received += 1
+            obj, nbytes = dg.obj
+            self.mailbox.put(
+                UdpMessage(
+                    obj=obj,
+                    nbytes=nbytes,
+                    src_host=dg.src_host,
+                    src_port=dg.src_port,
+                    time=now,
+                )
+            )

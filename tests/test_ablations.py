@@ -1,0 +1,118 @@
+"""Tests for the ablation experiments (smoke scale, fast variants)."""
+
+import pytest
+
+from repro.capture import KIND_TCP_ACK, KIND_UDP
+from repro.harness import ABLATIONS, run_ablation
+from repro.programs import TaskFft2d, run_measured
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(ABLATIONS) == {
+            "abl-bandwidth", "abl-window", "abl-fragment", "abl-route",
+            "abl-ack", "abl-procs", "abl-interfere", "abl-model",
+            "abl-switched", "abl-airshed",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            run_ablation("abl-nope")
+
+
+class TestMechanisms:
+    """Fast direct checks of the underlying mechanisms (the full
+    ablations run in the benchmark suite)."""
+
+    def test_faster_lan_shortens_trace(self):
+        slow = run_measured("2dfft", seed=1, iterations=3,
+                            cluster_kwargs={"bandwidth_bps": 10e6})
+        fast = run_measured("2dfft", seed=1, iterations=3,
+                            cluster_kwargs={"bandwidth_bps": 100e6})
+        assert fast.duration < slow.duration
+
+    def test_copy_loop_variant_single_fragment(self):
+        assert TaskFft2d(multi_pack=False).fragments(4) == 1
+        assert TaskFft2d(multi_pack=True).fragments(4) == 64
+
+    def test_copy_loop_narrows_conn_sizes(self):
+        multi = run_measured("t2dfft", seed=1, iterations=3).connection(0, 2)
+        copy = run_measured(
+            "t2dfft", seed=1, iterations=3,
+            program_kwargs={"multi_pack": False},
+        ).connection(0, 2)
+        # copy loop: only full segments + one remainder size
+        import numpy as np
+
+        copy_data = copy.kind(0)
+        sizes = set(np.unique(copy_data.sizes).tolist())
+        assert len(sizes) <= 4
+        multi_sizes = set(np.unique(multi.kind(0).sizes).tolist())
+        assert len(multi_sizes) >= len(sizes)
+
+    def test_ack_every_one_doubles_acks(self):
+        base = run_measured("hist", seed=1, iterations=5)
+        eager = run_measured(
+            "hist", seed=1, iterations=5,
+            cluster_kwargs={"tcp_kwargs": {"ack_every": 1}},
+        )
+        assert len(eager.kind(KIND_TCP_ACK)) > 1.5 * len(base.kind(KIND_TCP_ACK))
+
+    def test_daemon_route_is_udp(self):
+        from repro.pvm import Route
+
+        tr = run_measured("hist", seed=1, iterations=3, route=Route.DEFAULT)
+        assert len(tr.kind(KIND_UDP)) > 0
+        assert len(tr.kind(KIND_TCP_ACK)) == 0
+
+    def test_nprocs_scaling(self):
+        p2 = run_measured("2dfft", nprocs=2, seed=1, iterations=2)
+        p8 = run_measured("2dfft", nprocs=8, seed=1, iterations=2)
+        # P=8 has shorter iterations (less work and data per processor)
+        assert p8.duration < p2.duration
+
+
+class TestCoRunning:
+    def test_machine_map_validation(self):
+        from repro.fx import FxCluster, FxRuntime, WorkModel
+
+        cluster = FxCluster(n_machines=5)
+        wm = WorkModel(rate=1e6)
+        with pytest.raises(ValueError):
+            FxRuntime(cluster, 4, wm, machines=[0, 1, 2])  # wrong length
+        with pytest.raises(ValueError):
+            FxRuntime(cluster, 4, wm, machines=[0, 1, 2, 9])  # out of range
+        with pytest.raises(ValueError):
+            FxRuntime(cluster, 4, wm, machines=[0, 1, 2, 2])  # duplicate
+
+    def test_two_programs_share_one_lan(self):
+        from repro.fx import FxCluster, FxRuntime
+        from repro.programs import make_program, work_model_for
+
+        cluster = FxCluster(n_machines=9, seed=1)
+        rt_a = FxRuntime(cluster, 4, work_model_for("hist", 1),
+                         machines=[0, 1, 2, 3])
+        rt_b = FxRuntime(cluster, 4, work_model_for("sor", 1),
+                         machines=[4, 5, 6, 7])
+        procs = rt_a.launch(make_program("hist"), iterations=5)
+        procs += rt_b.launch(make_program("sor"), iterations=2)
+        cluster.sim.run(until=cluster.sim.all_of(procs))
+        trace = cluster.trace()
+        hist_part = trace.subset([0, 1, 2, 3])
+        sor_part = trace.subset([4, 5, 6, 7])
+        assert len(hist_part) > 0 and len(sor_part) > 0
+        # subsets partition the data traffic (no cross-set packets)
+        assert len(hist_part) + len(sor_part) == len(trace)
+
+    def test_subset_filter(self):
+        from repro.capture import PacketTrace
+
+        rows = [
+            (0.0, 100, 0, 1, 6, 0),
+            (0.1, 100, 4, 5, 6, 0),
+            (0.2, 100, 0, 4, 6, 0),  # crosses the sets
+        ]
+        tr = PacketTrace.from_rows(rows)
+        assert len(tr.subset([0, 1])) == 1
+        assert len(tr.subset([4, 5])) == 1
+        assert len(tr.subset([0, 1, 4, 5])) == 3

@@ -1,0 +1,140 @@
+"""Unit tests for repro.analysis.stats and bandwidth estimators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BandwidthSeries,
+    SummaryStats,
+    average_bandwidth,
+    binned_bandwidth,
+    interarrival_stats,
+    packet_size_stats,
+    size_histogram,
+    sliding_window_bandwidth,
+)
+from repro.capture import PacketTrace
+
+
+def trace_of(times, sizes, src=0, dst=1):
+    rows = [(t, s, src, dst, 6, 0) for t, s in zip(times, sizes)]
+    return PacketTrace.from_rows(rows)
+
+
+class TestSummaryStats:
+    def test_basic(self):
+        s = SummaryStats.of(np.array([1.0, 2.0, 3.0]))
+        assert s.min == 1 and s.max == 3
+        assert s.avg == pytest.approx(2.0)
+        assert s.sd == pytest.approx(np.std([1, 2, 3]))
+        assert s.n == 3
+
+    def test_empty(self):
+        s = SummaryStats.of(np.empty(0))
+        assert np.isnan(s.avg)
+        assert s.n == 0
+
+    def test_row_rounding(self):
+        s = SummaryStats.of(np.array([1.234, 5.678]))
+        assert s.row(1) == (1.2, 5.7, pytest.approx(3.5), pytest.approx(2.2))
+
+
+class TestPacketStats:
+    def test_packet_size_stats(self):
+        tr = trace_of([0, 1, 2], [58, 1518, 646])
+        s = packet_size_stats(tr)
+        assert (s.min, s.max) == (58, 1518)
+
+    def test_interarrival_in_milliseconds(self):
+        tr = trace_of([0.0, 0.010, 0.030], [100, 100, 100])
+        s = interarrival_stats(tr)
+        assert s.min == pytest.approx(10.0)
+        assert s.max == pytest.approx(20.0)
+        assert s.avg == pytest.approx(15.0)
+
+    def test_interarrival_needs_two_packets(self):
+        s = interarrival_stats(trace_of([0.0], [100]))
+        assert s.n == 0
+
+    def test_size_histogram(self):
+        tr = trace_of([0, 1, 2, 3], [58, 58, 1500, 1518])
+        edges, counts = size_histogram(tr, bin_width=100)
+        assert counts[0] == 2  # both 58s in the first bin
+        assert counts.sum() == 4
+
+
+class TestAverageBandwidth:
+    def test_average(self):
+        # 2048 bytes over 2 seconds = 1 KB/s
+        tr = trace_of([0.0, 2.0], [1024, 1024])
+        assert average_bandwidth(tr) == pytest.approx(1.0)
+
+    def test_degenerate_traces(self):
+        assert average_bandwidth(PacketTrace.empty()) == 0.0
+        assert average_bandwidth(trace_of([1.0], [500])) == 0.0
+
+
+class TestSlidingWindow:
+    def test_single_packet_window(self):
+        tr = trace_of([0.0, 1.0], [1024, 2048])
+        t, bw = sliding_window_bandwidth(tr, window=0.01)
+        # each packet alone in its window
+        assert bw[0] == pytest.approx(1024 / 0.01 / 1024)
+        assert bw[1] == pytest.approx(2048 / 0.01 / 1024)
+
+    def test_window_accumulates_close_packets(self):
+        tr = trace_of([0.0, 0.001, 0.002], [1024, 1024, 1024])
+        t, bw = sliding_window_bandwidth(tr, window=0.01)
+        assert bw[2] == pytest.approx(3 * 1024 / 0.01 / 1024)
+
+    def test_packet_outside_window_excluded(self):
+        tr = trace_of([0.0, 0.5], [1024, 1024])
+        _, bw = sliding_window_bandwidth(tr, window=0.01)
+        assert bw[1] == pytest.approx(1024 / 0.01 / 1024)
+
+    def test_empty_trace(self):
+        t, bw = sliding_window_bandwidth(PacketTrace.empty())
+        assert len(t) == 0 and len(bw) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_bandwidth(trace_of([0], [1]), window=0)
+
+
+class TestBinnedBandwidth:
+    def test_bins_partition_bytes(self):
+        tr = trace_of([0.0, 0.005, 0.015], [512, 512, 1024])
+        series = binned_bandwidth(tr, bin_width=0.01)
+        # bin 0: 1024 bytes, bin 1: 1024 bytes
+        assert series.values[0] == pytest.approx(1024 / 0.01 / 1024)
+        assert series.values[1] == pytest.approx(1024 / 0.01 / 1024)
+
+    def test_total_bytes_conserved(self):
+        rng = np.random.default_rng(1)
+        times = np.sort(rng.uniform(0, 10, 500))
+        sizes = rng.integers(58, 1518, 500)
+        tr = trace_of(times, sizes)
+        series = binned_bandwidth(tr, bin_width=0.01)
+        total_kb = series.values.sum() * 0.01
+        assert total_kb == pytest.approx(tr.total_bytes / 1024)
+
+    def test_explicit_range(self):
+        tr = trace_of([1.0, 2.0], [1024, 1024])
+        series = binned_bandwidth(tr, bin_width=0.5, t0=0.0, t1=3.0)
+        assert len(series) == 6
+        assert series.t0 == 0.0
+
+    def test_series_slice(self):
+        series = BandwidthSeries(0.0, 0.1, np.arange(100, dtype=float))
+        sub = series.slice(1.0, 2.0)
+        assert sub.t0 == pytest.approx(1.0)
+        assert len(sub) == 10
+        assert sub.values[0] == 10
+
+    def test_sample_rate(self):
+        series = BandwidthSeries(0.0, 0.01, np.zeros(10))
+        assert series.sample_rate == pytest.approx(100.0)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            BandwidthSeries(0.0, 0.0, np.zeros(4))

@@ -1,0 +1,151 @@
+"""Unit tests for the baseline traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    binned_bandwidth,
+    hurst_aggregated_variance,
+    power_spectrum,
+    spectral_flatness,
+)
+from repro.baselines import (
+    OnOffTraffic,
+    PoissonTraffic,
+    SelfSimilarTraffic,
+    VbrVideoTraffic,
+    fgn,
+)
+
+
+class TestPoisson:
+    def test_rate_and_load(self):
+        tr = PoissonTraffic(rate=1000.0, mean_size=400.0, seed=1).generate(30.0)
+        assert len(tr) == pytest.approx(30_000, rel=0.05)
+        bw = tr.total_bytes / 30.0
+        assert bw == pytest.approx(1000 * 400, rel=0.15)
+
+    def test_spectrum_is_flat(self):
+        tr = PoissonTraffic(rate=2000.0, seed=2).generate(60.0)
+        spec = power_spectrum(binned_bandwidth(tr, 0.01))
+        assert spectral_flatness(spec) > 0.4
+
+    def test_interarrivals_memoryless(self):
+        tr = PoissonTraffic(rate=1000.0, seed=3).generate(60.0)
+        gaps = np.diff(tr.times)
+        # exponential: std ~ mean
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.1)
+
+    def test_sizes_within_bounds(self):
+        tr = PoissonTraffic(seed=4).generate(10.0)
+        assert tr.sizes.min() >= 58
+        assert tr.sizes.max() <= 1518
+
+    def test_determinism(self):
+        a = PoissonTraffic(seed=5).generate(5.0)
+        b = PoissonTraffic(seed=5).generate(5.0)
+        assert np.array_equal(a.data, b.data)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(rate=0)
+        with pytest.raises(ValueError):
+            PoissonTraffic().generate(0)
+
+
+class TestOnOff:
+    def test_mean_load(self):
+        src = OnOffTraffic(on_mean=0.2, off_mean=0.8, on_rate=1000.0,
+                           packet_size=1000, seed=1)
+        tr = src.generate(120.0)
+        measured = tr.total_bytes / 120.0
+        assert measured == pytest.approx(src.mean_bandwidth, rel=0.25)
+
+    def test_bursts_visible(self):
+        src = OnOffTraffic(seed=2)
+        tr = src.generate(30.0)
+        series = binned_bandwidth(tr, 0.05)
+        # substantial idle time and substantial activity
+        idle = (series.values == 0).mean()
+        assert 0.2 < idle < 0.98
+
+    def test_constant_packet_size(self):
+        tr = OnOffTraffic(packet_size=777, seed=3).generate(10.0)
+        assert set(np.unique(tr.sizes)) == {777}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OnOffTraffic(on_mean=0)
+        with pytest.raises(ValueError):
+            OnOffTraffic(packet_size=0)
+
+
+class TestFgn:
+    def test_length_and_moments(self):
+        x = fgn(4096, hurst=0.8, seed=1)
+        assert len(x) == 4096
+        assert x.mean() == pytest.approx(0.0, abs=0.1)
+        assert x.std() == pytest.approx(1.0, rel=0.15)
+
+    def test_hurst_recovered(self):
+        x = fgn(16384, hurst=0.85, seed=2)
+        h = hurst_aggregated_variance(x)
+        assert 0.7 < h < 1.0
+
+    def test_low_hurst_not_persistent(self):
+        x = fgn(16384, hurst=0.5, seed=3)
+        h = hurst_aggregated_variance(x)
+        assert 0.35 < h < 0.65
+
+    def test_invalid_hurst(self):
+        with pytest.raises(ValueError):
+            fgn(100, hurst=1.5)
+        with pytest.raises(ValueError):
+            fgn(1, hurst=0.5)
+
+
+class TestSelfSimilar:
+    def test_mean_load(self):
+        src = SelfSimilarTraffic(mean_bandwidth=100_000.0, seed=1)
+        tr = src.generate(60.0)
+        assert tr.total_bytes / 60.0 == pytest.approx(100_000.0, rel=0.15)
+
+    def test_long_range_dependence(self):
+        src = SelfSimilarTraffic(hurst=0.85, seed=2, burstiness=0.5)
+        tr = src.generate(120.0)
+        series = binned_bandwidth(tr, 0.05)
+        h = hurst_aggregated_variance(series.values)
+        assert h > 0.65
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SelfSimilarTraffic(mean_bandwidth=0)
+        with pytest.raises(ValueError):
+            SelfSimilarTraffic(burstiness=-1)
+
+
+class TestVbrVideo:
+    def test_frame_rate_periodicity(self):
+        src = VbrVideoTraffic(fps=25.0, seed=1)
+        tr = src.generate(40.0)
+        spec = power_spectrum(binned_bandwidth(tr, 0.01))
+        from repro.analysis import find_peaks
+
+        peaks = find_peaks(spec, k=3)
+        assert any(abs(f - 25.0) < 0.5 for f, _ in peaks)
+
+    def test_variable_frame_sizes(self):
+        src = VbrVideoTraffic(seed=2)
+        sizes = src.frame_sizes(1000)
+        assert sizes.std() / sizes.mean() > 0.2
+
+    def test_frames_split_at_mtu(self):
+        src = VbrVideoTraffic(mean_frame_bytes=5000, packet_size=1518, seed=3)
+        tr = src.generate(5.0)
+        assert tr.sizes.max() <= 1518
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VbrVideoTraffic(fps=0)
+        with pytest.raises(ValueError):
+            VbrVideoTraffic().generate(-1)

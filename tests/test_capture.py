@@ -1,0 +1,145 @@
+"""Unit tests for packet traces, recording, and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.capture import (
+    KIND_TCP_ACK,
+    KIND_TCP_DATA,
+    KIND_UDP,
+    PacketTrace,
+    TraceRecorder,
+    from_text,
+    load_npz,
+    save_npz,
+    to_text,
+)
+from repro.des import Simulator
+from repro.net import EthernetBus, Nic
+from repro.transport import PROTO_TCP, PROTO_UDP, HostStack
+
+
+def sample_trace():
+    rows = [
+        (0.00, 1518, 0, 1, PROTO_TCP, KIND_TCP_DATA),
+        (0.01, 58, 1, 0, PROTO_TCP, KIND_TCP_ACK),
+        (0.02, 646, 0, 1, PROTO_TCP, KIND_TCP_DATA),
+        (0.05, 146, 2, 3, PROTO_UDP, KIND_UDP),
+        (0.10, 1518, 1, 0, PROTO_TCP, KIND_TCP_DATA),
+    ]
+    return PacketTrace.from_rows(rows)
+
+
+class TestPacketTrace:
+    def test_len_and_columns(self):
+        tr = sample_trace()
+        assert len(tr) == 5
+        assert tr.sizes.tolist() == [1518, 58, 646, 146, 1518]
+        assert tr.times[0] == 0.0
+
+    def test_duration_and_total_bytes(self):
+        tr = sample_trace()
+        assert tr.duration == pytest.approx(0.10)
+        assert tr.total_bytes == 1518 + 58 + 646 + 146 + 1518
+
+    def test_empty_trace(self):
+        tr = PacketTrace.empty()
+        assert len(tr) == 0
+        assert tr.duration == 0.0
+        assert tr.total_bytes == 0
+
+    def test_connection_filter_is_simplex(self):
+        tr = sample_trace()
+        c01 = tr.connection(0, 1)
+        assert len(c01) == 2
+        assert set(c01.srcs.tolist()) == {0}
+        c10 = tr.connection(1, 0)
+        assert len(c10) == 2  # the ACK and the reverse data packet
+
+    def test_between(self):
+        tr = sample_trace()
+        assert len(tr.between(0.005, 0.06)) == 3
+
+    def test_protocol_and_kind_filters(self):
+        tr = sample_trace()
+        assert len(tr.protocol(PROTO_UDP)) == 1
+        assert len(tr.kind(KIND_TCP_ACK)) == 1
+
+    def test_hosts_and_connections(self):
+        tr = sample_trace()
+        assert tr.hosts().tolist() == [0, 1, 2, 3]
+        assert (0, 1) in tr.connections()
+        assert (2, 3) in tr.connections()
+
+    def test_shifted_rebases_times(self):
+        tr = sample_trace()
+        sh = tr.shifted(100.0)
+        assert sh.times[0] == 100.0
+        assert sh.duration == pytest.approx(tr.duration)
+        # original unchanged
+        assert tr.times[0] == 0.0
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrace(np.zeros(3))
+
+
+class TestRecorder:
+    def test_records_live_traffic_with_kinds(self):
+        sim = Simulator()
+        bus = EthernetBus(sim, seed=2)
+        stacks = [HostStack(sim, Nic(sim, bus, i), i) for i in range(2)]
+        rec = TraceRecorder(bus)
+        conn = stacks[0].connect(stacks[1])
+        conn.forward.send(3000, obj=None)
+        sock_rx = stacks[1].udp_socket(9)
+        sock_tx = stacks[0].udp_socket()
+        sock_tx.sendto(64, dst_host=1, dst_port=9)
+        sim.run()
+        tr = rec.trace()
+        assert len(tr) >= 4
+        assert len(tr.kind(KIND_TCP_DATA)) == 3  # 1460+1460+80
+        assert len(tr.kind(KIND_UDP)) == 1
+        assert len(tr.kind(KIND_TCP_ACK)) >= 1
+        # timestamps are monotone nondecreasing
+        assert np.all(np.diff(tr.times) >= 0)
+
+    def test_clear(self):
+        sim = Simulator()
+        bus = EthernetBus(sim)
+        rec = TraceRecorder(bus)
+        assert len(rec.trace()) == 0
+        rec.clear()
+        assert len(rec) == 0
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, tmp_path):
+        tr = sample_trace()
+        path = tmp_path / "trace.npz"
+        save_npz(tr, path)
+        back = load_npz(path)
+        assert np.array_equal(back.data, tr.data)
+
+    def test_text_roundtrip(self):
+        tr = sample_trace()
+        text = to_text(tr)
+        back = from_text(text)
+        assert np.allclose(back.times, tr.times, atol=1e-6)
+        assert np.array_equal(back.sizes, tr.sizes)
+        assert np.array_equal(back.srcs, tr.srcs)
+        assert np.array_equal(back.protos, tr.protos)
+
+    def test_text_format_readable(self):
+        text = to_text(sample_trace())
+        first = text.splitlines()[0]
+        assert "host0 > host1:" in first
+        assert "tcp 1518" in first
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(ValueError):
+            from_text("this is not a trace line at all extra tokens here")
+
+    def test_empty_text(self):
+        assert len(from_text("")) == 0
+        assert len(from_text("# only a comment\n")) == 0

@@ -1,0 +1,70 @@
+"""Tests for trace replay onto a simulated medium."""
+
+import numpy as np
+import pytest
+
+from repro.capture import PacketTrace, TraceReplayer, replay_trace
+from repro.des import Simulator
+from repro.net import EthernetBus, Nic
+
+
+def sparse_trace(n=20, spacing=0.01, size=500):
+    rows = [(i * spacing, size, i % 2, (i + 1) % 2, 6, 0) for i in range(n)]
+    return PacketTrace.from_rows(rows)
+
+
+class TestReplay:
+    def test_all_packets_reinjected(self):
+        tr = sparse_trace()
+        out = replay_trace(tr)
+        assert len(out) == len(tr)
+        assert out.total_bytes == tr.total_bytes
+
+    def test_sparse_trace_keeps_timing(self):
+        # packets spaced far beyond their wire time replay ~unchanged
+        tr = sparse_trace(spacing=0.05)
+        out = replay_trace(tr)
+        in_gaps = np.diff(tr.times)
+        out_gaps = np.diff(out.times)
+        assert np.allclose(in_gaps, out_gaps, atol=0.002)
+
+    def test_overloaded_trace_is_reshaped(self):
+        # an offered load above the medium rate must be stretched
+        rows = [(i * 1e-4, 1518, 0, 1, 6, 0) for i in range(200)]
+        tr = PacketTrace.from_rows(rows)  # ~15 MB/s offered on 1.25 MB/s
+        out = replay_trace(tr)
+        assert len(out) == 200
+        assert out.duration > 5 * tr.duration
+
+    def test_sizes_preserved(self):
+        tr = sparse_trace(size=1000)
+        out = replay_trace(tr)
+        assert set(np.unique(out.sizes)) == {1000}
+
+    def test_empty_trace(self):
+        out = replay_trace(PacketTrace.empty())
+        assert len(out) == 0
+
+    def test_missing_nic_rejected(self):
+        sim = Simulator()
+        bus = EthernetBus(sim)
+        nics = {0: Nic(sim, bus, 0)}  # trace also uses station 1
+        with pytest.raises(ValueError):
+            TraceReplayer(sim, nics, sparse_trace())
+
+    def test_synthetic_model_traffic_survives_replay(self):
+        """Model -> generate -> replay: the paper's planning loop."""
+        from repro.analysis import binned_bandwidth
+        from repro.core import SpectralModel, SpectralTrafficGenerator, Spike
+
+        model = SpectralModel(
+            mean=300.0, spikes=[Spike(freq=1.0, amplitude=250.0, phase=0.0)]
+        )
+        synth = SpectralTrafficGenerator(model).generate(duration=10.0)
+        replayed = replay_trace(synth)
+        # volume conserved and the 1 Hz structure survives the medium
+        assert replayed.total_bytes == synth.total_bytes
+        from repro.analysis import fundamental_frequency, power_spectrum
+
+        spec = power_spectrum(binned_bandwidth(replayed, 0.01))
+        assert fundamental_frequency(spec) == pytest.approx(1.0, abs=0.15)

@@ -1,0 +1,59 @@
+"""Tests for the python -m repro command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("fig1", "fig11", "model", "qos", "baseline",
+                   "abl-bandwidth", "abl-interfere"):
+        assert exp_id in out
+
+
+def test_run_static_experiment(capsys):
+    assert main(["run", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fx kernels" in out
+    assert "PASS" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+
+
+def test_run_with_export(tmp_path, capsys):
+    assert main(["run", "fig1", "--export", str(tmp_path)]) == 0
+    manifest = json.loads((tmp_path / "fig1" / "manifest.json").read_text())
+    assert manifest["exp_id"] == "fig1"
+    assert all(manifest["checks"].values())
+
+
+def test_run_with_scale_and_seed(capsys):
+    assert main(["run", "fig5", "--scale", "smoke", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "2DFFT" in out
+
+
+def test_trace_npz(tmp_path, capsys):
+    out_file = tmp_path / "t.npz"
+    assert main(["trace", "hist", "--scale", "smoke", "--out", str(out_file)]) == 0
+    from repro.capture import load_npz
+
+    trace = load_npz(out_file)
+    assert len(trace) > 0
+
+
+def test_trace_text(tmp_path):
+    out_file = tmp_path / "t.txt"
+    assert main(["trace", "hist", "--scale", "smoke", "--out", str(out_file),
+                 "--text"]) == 0
+    assert "tcp" in out_file.read_text()
+
+
+def test_trace_unknown_program():
+    assert main(["trace", "nope", "--out", "/tmp/x.npz"]) == 2

@@ -1,0 +1,97 @@
+"""Unit tests for trace comparison metrics (paper §7.1 characteristics)."""
+
+import numpy as np
+import pytest
+
+from repro.capture import PacketTrace
+from repro.core import (
+    burst_size_constancy,
+    connection_correlation,
+    find_bursts,
+    series_nrmse,
+)
+
+
+def bursty_trace(n_bursts=10, period=1.0, pkts_per_burst=5, size=1000,
+                 pairs=((0, 1),), jitter=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for b in range(n_bursts):
+        start = b * period + (rng.uniform(-jitter, jitter) if jitter else 0)
+        for pair in pairs:
+            for i in range(pkts_per_burst):
+                rows.append((start + i * 0.001, size, pair[0], pair[1], 6, 0))
+    rows.sort()
+    return PacketTrace.from_rows(rows)
+
+
+class TestNrmse:
+    def test_identical_is_zero(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert series_nrmse(x, x) == 0.0
+
+    def test_scale(self):
+        a = np.array([1.0, 1.0])
+        b = np.array([2.0, 2.0])
+        assert series_nrmse(a, b) == pytest.approx(1.0)
+
+    def test_zero_reference(self):
+        z = np.zeros(3)
+        assert series_nrmse(z, z) == 0.0
+        assert series_nrmse(z, np.ones(3)) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            series_nrmse(np.zeros(2), np.zeros(3))
+
+
+class TestBursts:
+    def test_find_bursts_counts(self):
+        tr = bursty_trace(n_bursts=8)
+        bursts = find_bursts(tr, gap=0.05)
+        assert len(bursts) == 8
+        for _, total, n in bursts:
+            assert n == 5
+            assert total == 5000
+
+    def test_burst_constancy_low_for_constant_bursts(self):
+        tr = bursty_trace(n_bursts=12)
+        assert burst_size_constancy(tr) == pytest.approx(0.0)
+
+    def test_burst_constancy_high_for_variable_bursts(self):
+        rng = np.random.default_rng(3)
+        rows = []
+        for b in range(12):
+            n = int(rng.integers(1, 20))
+            for i in range(n):
+                rows.append((b * 1.0 + i * 0.001, 1000, 0, 1, 6, 0))
+        tr = PacketTrace.from_rows(rows)
+        assert burst_size_constancy(tr) > 0.3
+
+    def test_empty_and_tiny_traces(self):
+        assert find_bursts(PacketTrace.empty()) == []
+        assert np.isnan(burst_size_constancy(PacketTrace.empty()))
+
+
+class TestConnectionCorrelation:
+    def test_synchronized_connections_highly_correlated(self):
+        pairs = ((0, 1), (1, 2), (2, 3))
+        tr = bursty_trace(n_bursts=20, pairs=pairs)
+        rho = connection_correlation(tr, bin_width=0.25)
+        assert rho > 0.9
+
+    def test_independent_connections_uncorrelated(self):
+        rng = np.random.default_rng(9)
+        rows = []
+        for pair in ((0, 1), (2, 3)):
+            times = np.sort(rng.uniform(0, 60, 800))
+            for t in times:
+                rows.append((t, 500, pair[0], pair[1], 6, 0))
+        rows.sort()
+        tr = PacketTrace.from_rows(rows)
+        rho = connection_correlation(tr, bin_width=0.25)
+        assert abs(rho) < 0.2
+
+    def test_single_connection_is_nan(self):
+        tr = bursty_trace(pairs=((0, 1),))
+        assert np.isnan(connection_correlation(tr))

@@ -1,0 +1,188 @@
+"""Unit tests for the QoS negotiation model (paper §7.3)."""
+
+import pytest
+
+from repro.core import (
+    Network,
+    TrafficCharacterization,
+    characterize_program,
+    concurrent_connections,
+)
+from repro.fx import Pattern
+from repro.programs import Fft2d, Sor
+
+
+class TestConcurrentConnections:
+    def test_all_to_all_is_p(self):
+        # shift schedule: one permutation round at a time
+        assert concurrent_connections(Pattern.ALL_TO_ALL, 4) == 4
+        assert concurrent_connections(Pattern.ALL_TO_ALL, 8) == 8
+
+    def test_neighbor_is_2p_minus_2(self):
+        assert concurrent_connections(Pattern.NEIGHBOR, 4) == 6
+
+    def test_partition_is_half(self):
+        assert concurrent_connections(Pattern.PARTITION, 8) == 4
+
+    def test_broadcast_is_p_minus_1(self):
+        assert concurrent_connections(Pattern.BROADCAST, 4) == 3
+
+
+class TestCharacterization:
+    def simple_char(self):
+        return TrafficCharacterization(
+            name="toy",
+            pattern=Pattern.ALL_TO_ALL,
+            local_time=lambda P: 8.0 / P,       # W/P with W=8s
+            burst_bytes=lambda P: 1e6 / (P * P),  # b(P) ~ 1/P^2
+        )
+
+    def test_burst_interval_formula(self):
+        char = self.simple_char()
+        P, B = 4, 100_000.0
+        rounds = P - 1
+        expected = 8.0 / P + rounds * (1e6 / 16) / B
+        assert char.burst_interval(P, B) == pytest.approx(expected)
+
+    def test_zero_bandwidth_is_infinite_interval(self):
+        char = self.simple_char()
+        assert char.burst_interval(4, 0.0) == float("inf")
+
+    def test_burst_length(self):
+        char = self.simple_char()
+        assert char.burst_length(4, 62_500.0) == pytest.approx(1.0)
+
+    def test_characterize_program(self):
+        char = characterize_program(Sor(n=512), work_rate=30_000.0)
+        assert char.pattern is Pattern.NEIGHBOR
+        assert char.local_time(4) == pytest.approx(65536 / 30_000.0)
+        assert char.burst_bytes(4) == 2048
+
+    def test_program_without_pattern_rejected(self):
+        from repro.fx import FxProgram
+
+        class NoPattern(FxProgram):
+            name = "none"
+
+        with pytest.raises(ValueError):
+            characterize_program(NoPattern(), work_rate=1.0)
+
+
+class TestNetwork:
+    def test_available_respects_efficiency(self):
+        net = Network(capacity=1000.0, efficiency=0.8)
+        assert net.available == pytest.approx(800.0)
+
+    def test_commit_and_release(self):
+        net = Network(capacity=1000.0, efficiency=1.0)
+        net.commit("app1", 400.0)
+        assert net.available == pytest.approx(600.0)
+        net.release("app1")
+        assert net.available == pytest.approx(1000.0)
+
+    def test_overcommit_rejected(self):
+        net = Network(capacity=1000.0, efficiency=1.0)
+        with pytest.raises(ValueError):
+            net.commit("big", 2000.0)
+
+    def test_duplicate_commitment_rejected(self):
+        net = Network(capacity=1000.0, efficiency=1.0)
+        net.commit("a", 10.0)
+        with pytest.raises(ValueError):
+            net.commit("a", 10.0)
+
+    def test_release_unknown_rejected(self):
+        net = Network()
+        with pytest.raises(KeyError):
+            net.release("ghost")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Network(capacity=0)
+        with pytest.raises(ValueError):
+            Network(efficiency=0)
+
+
+class TestNegotiation:
+    def test_compute_bound_program_wants_many_processors(self):
+        # Huge W, tiny messages: t_bi dominated by W/P, so max P wins.
+        char = TrafficCharacterization(
+            name="compute-bound",
+            pattern=Pattern.NEIGHBOR,
+            local_time=lambda P: 1000.0 / P,
+            burst_bytes=lambda P: 100.0,
+        )
+        net = Network(capacity=1.25e6)
+        result = net.negotiate(char, candidates=(2, 4, 8, 16))
+        assert result.nprocs == 16
+
+    def test_communication_bound_program_wants_few_processors(self):
+        # No compute, large constant-volume messages: more processors
+        # only add contention.
+        char = TrafficCharacterization(
+            name="comm-bound",
+            pattern=Pattern.ALL_TO_ALL,
+            local_time=lambda P: 0.0,
+            burst_bytes=lambda P: 1e6,  # per-connection bytes don't shrink
+        )
+        net = Network(capacity=1.25e6)
+        result = net.negotiate(char, candidates=(2, 4, 8, 16))
+        assert result.nprocs == 2
+
+    def test_tension_produces_interior_optimum(self):
+        # The paper's trade-off: W/P falls with P, N/B rises with P.
+        char = TrafficCharacterization(
+            name="balanced",
+            pattern=Pattern.ALL_TO_ALL,
+            local_time=lambda P: 40.0 / P,
+            burst_bytes=lambda P: 4e6 / P,  # total volume constant per round
+        )
+        net = Network(capacity=1.25e6)
+        result = net.negotiate(char, candidates=(2, 4, 8, 16, 32))
+        assert 2 < result.nprocs < 32
+        intervals = [p.burst_interval for p in result.curve]
+        # strictly convex-ish: endpoint intervals exceed the optimum
+        best = min(intervals)
+        assert intervals[0] > best and intervals[-1] > best
+
+    def test_commitments_shift_the_optimum_down(self):
+        char = TrafficCharacterization(
+            name="balanced",
+            pattern=Pattern.ALL_TO_ALL,
+            local_time=lambda P: 40.0 / P,
+            burst_bytes=lambda P: 4e6 / P,
+        )
+        free = Network(capacity=1.25e6)
+        busy = Network(capacity=1.25e6)
+        busy.commit("video", 0.8e6)
+        p_free = free.negotiate(char, candidates=(2, 4, 8, 16)).nprocs
+        p_busy = busy.negotiate(char, candidates=(2, 4, 8, 16)).nprocs
+        assert p_busy <= p_free
+
+    def test_curve_covers_all_candidates(self):
+        char = TrafficCharacterization(
+            name="x",
+            pattern=Pattern.PARTITION,
+            local_time=lambda P: 1.0 / P,
+            burst_bytes=lambda P: 1000.0,
+        )
+        net = Network()
+        result = net.negotiate(char, candidates=(2, 4, 8))
+        assert [p.nprocs for p in result.curve] == [2, 4, 8]
+
+    def test_bad_candidates_rejected(self):
+        net = Network()
+        char = TrafficCharacterization(
+            "x", Pattern.NEIGHBOR, lambda P: 1.0, lambda P: 1.0
+        )
+        with pytest.raises(ValueError):
+            net.negotiate(char, candidates=())
+        with pytest.raises(ValueError):
+            net.negotiate(char, candidates=(1,))
+
+    def test_fft_program_negotiation_end_to_end(self):
+        char = characterize_program(Fft2d(n=512), work_rate=1.7e6)
+        net = Network(capacity=1.25e6)
+        result = net.negotiate(char, candidates=(2, 4, 8, 16))
+        assert result.nprocs in (2, 4, 8, 16)
+        assert all(p.burst_interval > 0 for p in result.curve)

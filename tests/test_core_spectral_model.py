@@ -1,0 +1,159 @@
+"""Unit tests for the spectral traffic model (paper §7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BandwidthSeries, binned_bandwidth
+from repro.core import SpectralModel, SpectralTrafficGenerator, Spike, series_nrmse
+from repro.fx import Pattern
+
+
+def make_series(freqs_amps, fs=100.0, duration=20.0, mean=100.0):
+    t = np.arange(0, duration, 1.0 / fs)
+    x = np.full_like(t, mean)
+    for f, a, ph in freqs_amps:
+        x = x + a * np.cos(2 * np.pi * f * t + ph)
+    return BandwidthSeries(0.0, 1.0 / fs, x)
+
+
+class TestFit:
+    def test_recovers_mean(self):
+        series = make_series([], mean=42.0)
+        model = SpectralModel.fit(series, n_spikes=0)
+        assert model.mean == pytest.approx(42.0)
+        assert model.n_spikes == 0
+
+    def test_recovers_single_tone(self):
+        series = make_series([(5.0, 10.0, 0.3)])
+        model = SpectralModel.fit(series, n_spikes=1)
+        assert model.n_spikes == 1
+        s = model.spikes[0]
+        assert s.freq == pytest.approx(5.0, abs=0.06)
+        assert s.amplitude == pytest.approx(10.0, rel=0.01)
+        assert s.phase == pytest.approx(0.3, abs=0.01)
+
+    def test_spikes_ordered_by_amplitude(self):
+        series = make_series([(3.0, 2.0, 0), (7.0, 8.0, 0), (11.0, 5.0, 0)])
+        model = SpectralModel.fit(series, n_spikes=3)
+        amps = [s.amplitude for s in model.spikes]
+        assert amps == sorted(amps, reverse=True)
+        assert model.spikes[0].freq == pytest.approx(7.0, abs=0.06)
+
+    def test_fundamental_is_lowest_kept_freq(self):
+        series = make_series([(3.0, 2.0, 0), (7.0, 8.0, 0)])
+        model = SpectralModel.fit(series, n_spikes=2)
+        assert model.fundamental == pytest.approx(3.0, abs=0.06)
+
+    def test_exact_reconstruction_with_all_bins(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 100, 128)
+        series = BandwidthSeries(0.0, 0.01, x)
+        model = SpectralModel.fit(series, n_spikes=len(x))
+        xh = model.reconstruct(series.times)
+        assert np.allclose(xh, x, atol=1e-8)
+
+    def test_invalid_inputs(self):
+        series = make_series([])
+        with pytest.raises(ValueError):
+            SpectralModel.fit(series, n_spikes=-1)
+        with pytest.raises(ValueError):
+            SpectralModel.fit(BandwidthSeries(0, 0.01, np.array([1.0])))
+
+
+class TestConvergence:
+    def test_error_non_increasing_in_spike_count(self):
+        # The paper's convergence claim, exactly (Parseval on the grid).
+        rng = np.random.default_rng(1)
+        x = 50 + 10 * np.sin(2 * np.pi * 2 * np.arange(512) * 0.01)
+        x += rng.normal(0, 5, 512)
+        series = BandwidthSeries(0.0, 0.01, x)
+        full = SpectralModel.fit(series, n_spikes=256)
+        errors = [full.truncated(k).error(series) for k in range(0, 257, 16)]
+        assert all(e2 <= e1 + 1e-12 for e1, e2 in zip(errors, errors[1:]))
+        assert errors[-1] < 1e-8
+
+    def test_few_spikes_capture_periodic_signal(self):
+        series = make_series([(2.0, 30.0, 0), (4.0, 15.0, 1), (6.0, 5.0, 2)])
+        model = SpectralModel.fit(series, n_spikes=3)
+        assert model.error(series) < 1e-6
+
+
+class TestReconstruct:
+    def test_clip_floors_at_zero(self):
+        model = SpectralModel(mean=1.0, spikes=[Spike(1.0, 10.0, 0.0)])
+        t = np.linspace(0, 1, 100)
+        assert model.reconstruct(t).min() < 0
+        assert model.reconstruct(t, clip=True).min() == 0.0
+
+    def test_t0_offset_respected(self):
+        series = make_series([(5.0, 10.0, 0.0)])
+        shifted = BandwidthSeries(100.0, series.dt, series.values)
+        model = SpectralModel.fit(shifted, n_spikes=1)
+        xh = model.reconstruct(shifted.times)
+        assert series_nrmse(shifted.values, xh) < 0.01
+
+    def test_truncated_keeps_strongest(self):
+        series = make_series([(3.0, 2.0, 0), (7.0, 8.0, 0)])
+        model = SpectralModel.fit(series, n_spikes=2).truncated(1)
+        assert model.n_spikes == 1
+        assert model.spikes[0].freq == pytest.approx(7.0, abs=0.06)
+
+
+class TestPersistence:
+    def test_dict_roundtrip(self):
+        series = make_series([(5.0, 10.0, 0.5), (9.0, 3.0, -1.0)])
+        model = SpectralModel.fit(series, n_spikes=2)
+        back = SpectralModel.from_dict(model.to_dict())
+        assert back.mean == model.mean
+        t = np.linspace(0, 5, 333)
+        assert np.allclose(back.reconstruct(t), model.reconstruct(t))
+
+
+class TestGenerator:
+    def test_generated_traffic_matches_model_bandwidth(self):
+        series = make_series([(2.0, 300.0, 0.0)], mean=400.0, duration=10.0)
+        model = SpectralModel.fit(series, n_spikes=1)
+        gen = SpectralTrafficGenerator(model)
+        trace = gen.generate(duration=10.0, dt=0.01)
+        got = binned_bandwidth(trace, 0.1, t0=0.0, t1=10.0)
+        want = np.maximum(model.reconstruct(got.times + 0.05), 0)
+        # coarse-bin comparison: generated bandwidth tracks the model
+        assert series_nrmse(want, got.values) < 0.15
+
+    def test_volume_conserved(self):
+        model = SpectralModel(mean=500.0, spikes=[])
+        gen = SpectralTrafficGenerator(model)
+        trace = gen.generate(duration=5.0, dt=0.01)
+        expected = 500.0 * 1024 * 5.0
+        assert trace.total_bytes == pytest.approx(expected, rel=0.01)
+
+    def test_constant_burst_packet_sizes(self):
+        model = SpectralModel(mean=800.0, spikes=[])
+        gen = SpectralTrafficGenerator(model, packet_size=1518)
+        trace = gen.generate(duration=2.0, dt=0.01)
+        sizes = np.unique(trace.sizes)
+        assert 1518 in sizes
+        # at most full packets plus small remainders
+        assert (trace.sizes == 1518).mean() > 0.5
+
+    def test_pattern_attribution(self):
+        model = SpectralModel(mean=500.0, spikes=[])
+        gen = SpectralTrafficGenerator(model, pattern=Pattern.ALL_TO_ALL, nprocs=4)
+        trace = gen.generate(duration=3.0, dt=0.01)
+        conns = set(trace.connections())
+        from repro.fx import pattern_pairs
+
+        assert conns == pattern_pairs(Pattern.ALL_TO_ALL, 4)
+
+    def test_zero_demand_generates_nothing(self):
+        model = SpectralModel(mean=0.0, spikes=[])
+        gen = SpectralTrafficGenerator(model)
+        assert len(gen.generate(duration=1.0)) == 0
+
+    def test_invalid_parameters(self):
+        model = SpectralModel(mean=1.0, spikes=[])
+        with pytest.raises(ValueError):
+            SpectralTrafficGenerator(model, packet_size=10, min_packet=58)
+        gen = SpectralTrafficGenerator(model)
+        with pytest.raises(ValueError):
+            gen.generate(duration=0)

@@ -1,0 +1,200 @@
+"""Tests for second-wave features: harmonic model fitting, spectrograms,
+tree down-sweep, and TCP push semantics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BandwidthSeries, spectrogram
+from repro.core import SpectralModel
+from repro.des import Simulator
+from repro.fx import FxCluster, FxRuntime, WorkModel, tree_downsweep
+from repro.net import EthernetBus, Nic
+from repro.transport import HostStack
+
+
+def comb_series(f0=2.0, n_harmonics=4, fs=100.0, duration=20.0, mean=100.0,
+                noise=0.0, seed=0):
+    t = np.arange(0, duration, 1.0 / fs)
+    x = np.full_like(t, mean)
+    for h in range(1, n_harmonics + 1):
+        x = x + (20.0 / h) * np.cos(2 * np.pi * h * f0 * t + 0.1 * h)
+    if noise:
+        x = x + np.random.default_rng(seed).normal(0, noise, len(t))
+    return BandwidthSeries(0.0, 1.0 / fs, x)
+
+
+class TestHarmonicFit:
+    def test_recovers_comb(self):
+        series = comb_series(f0=2.0, n_harmonics=4)
+        model = SpectralModel.fit_harmonic(series, n_harmonics=4)
+        freqs = sorted(s.freq for s in model.spikes)
+        assert len(freqs) == 4
+        for h, f in enumerate(freqs, start=1):
+            assert f == pytest.approx(2.0 * h, abs=0.1)
+        assert model.error(series) < 1e-6
+
+    def test_explicit_fundamental(self):
+        series = comb_series(f0=3.0, n_harmonics=3)
+        model = SpectralModel.fit_harmonic(series, fundamental=3.0,
+                                           n_harmonics=3)
+        assert model.fundamental == pytest.approx(3.0, abs=0.1)
+
+    def test_harmonic_beats_topk_on_comb_with_noise(self):
+        # with a tight budget on a noisy comb, the harmonic prior wins
+        series = comb_series(f0=2.0, n_harmonics=6, noise=3.0, seed=2)
+        top = SpectralModel.fit(series, n_spikes=6)
+        harm = SpectralModel.fit_harmonic(series, fundamental=2.0,
+                                          n_harmonics=6)
+        # both capture the signal; harmonic never keeps an off-comb bin
+        for s in harm.spikes:
+            ratio = s.freq / 2.0
+            assert abs(ratio - round(ratio)) < 0.05
+        assert harm.error(series) <= top.error(series) + 0.05
+
+    def test_invalid_inputs(self):
+        series = comb_series()
+        with pytest.raises(ValueError):
+            SpectralModel.fit_harmonic(series, n_harmonics=0)
+        with pytest.raises(ValueError):
+            SpectralModel.fit_harmonic(series, fundamental=-1.0)
+        with pytest.raises(ValueError):
+            SpectralModel.fit_harmonic(
+                BandwidthSeries(0, 0.01, np.zeros(2))
+            )
+
+    def test_aperiodic_signal_rejected_without_fundamental(self):
+        rng = np.random.default_rng(5)
+        flat = BandwidthSeries(0.0, 0.01, rng.normal(100, 1, 512))
+        # harmonic summation may find nothing meaningful; either it
+        # raises (no fundamental) or returns a valid (weak) model
+        try:
+            model = SpectralModel.fit_harmonic(flat)
+            assert model.n_spikes >= 0
+        except ValueError:
+            pass
+
+
+class TestSpectrogram:
+    def test_shapes(self):
+        series = comb_series(duration=30.0)
+        sg = spectrogram(series, window=5.0, overlap=0.5)
+        assert sg.power.shape == (len(sg.freqs), len(sg.times))
+        assert len(sg.times) > 5
+
+    def test_stationary_comb_constant_band_power(self):
+        series = comb_series(f0=2.0, duration=40.0)
+        sg = spectrogram(series, window=5.0)
+        band = sg.band_power(1.8, 2.2)
+        assert band.std() / band.mean() < 0.1
+
+    def test_transient_burst_localized(self):
+        fs, duration = 100.0, 40.0
+        t = np.arange(0, duration, 1.0 / fs)
+        x = np.zeros_like(t)
+        mask = (t > 15) & (t < 25)
+        x[mask] = 50 * np.sin(2 * np.pi * 5.0 * t[mask])
+        sg = spectrogram(BandwidthSeries(0.0, 1.0 / fs, x), window=4.0)
+        band = sg.band_power(4.5, 5.5)
+        inside = band[(sg.times > 17) & (sg.times < 23)]
+        outside = band[(sg.times < 10) | (sg.times > 30)]
+        assert inside.mean() > 100 * max(outside.mean(), 1e-12)
+
+    def test_invalid_parameters(self):
+        series = comb_series()
+        with pytest.raises(ValueError):
+            spectrogram(series, window=0)
+        with pytest.raises(ValueError):
+            spectrogram(series, window=5.0, overlap=1.0)
+        with pytest.raises(ValueError):
+            spectrogram(series, window=1000.0)
+
+
+class TestTreeDownsweep:
+    @pytest.mark.parametrize("P", [2, 4, 5, 8])
+    def test_all_ranks_receive(self, P):
+        cluster = FxCluster(n_machines=P + 1, seed=3)
+        wm = WorkModel(rate=1e6, jitter=0.0)
+        rt = FxRuntime(cluster, P, wm)
+        done = []
+
+        def body(ctx):
+            yield from tree_downsweep(ctx, 1024)
+            done.append(ctx.rank)
+
+        procs = [cluster.sim.process(body(ctx)) for ctx in rt.contexts]
+        cluster.sim.run(until=cluster.sim.all_of(procs))
+        assert sorted(done) == list(range(P))
+
+    def test_spreads_load_off_the_root(self):
+        P = 8
+        cluster = FxCluster(n_machines=P + 1, seed=3)
+        rt = FxRuntime(cluster, P, WorkModel(rate=1e6, jitter=0.0))
+
+        def body(ctx):
+            yield from tree_downsweep(ctx, 4096)
+
+        procs = [cluster.sim.process(body(ctx)) for ctx in rt.contexts]
+        cluster.sim.run(until=cluster.sim.all_of(procs))
+        data = cluster.trace().kind(0)
+        sends_from_root = len([1 for s, _ in data.connections() if s == 0])
+        # root sends to log2(8)=3 partners, not 7
+        assert sends_from_root == 3
+
+
+class TestTcpPush:
+    def build(self):
+        sim = Simulator()
+        bus = EthernetBus(sim, seed=17)
+        stacks = [HostStack(sim, Nic(sim, bus, i), i) for i in range(2)]
+        return sim, bus, stacks
+
+    def test_pushed_writes_never_coalesce(self):
+        sim, bus, stacks = self.build()
+        sizes = []
+        bus.add_listener(lambda f, t: sizes.append(f.size) if f.src == 0 else None)
+        conn = stacks[0].connect(stacks[1])
+        for i in range(20):
+            conn.forward.send(32, obj=i)  # push=True default
+        sim.run()
+        # every message rides its own 90-byte frame (32+40+18)
+        assert all(s == 90 for s in sizes)
+        assert len(sizes) == 20
+
+    def test_unpushed_writes_coalesce(self):
+        sim, bus, stacks = self.build()
+        sizes = []
+        bus.add_listener(lambda f, t: sizes.append(f.size) if f.src == 0 else None)
+        conn = stacks[0].connect(stacks[1])
+        for i in range(20):
+            conn.forward.send(32, obj=i, push=False)
+        sim.run()
+        # the stream coalesces: far fewer, larger packets
+        assert max(sizes) > 90
+        assert len(sizes) < 20
+
+    def test_push_boundary_respected_for_large_writes(self):
+        sim, bus, stacks = self.build()
+        sizes = []
+        bus.add_listener(lambda f, t: sizes.append(f.size) if f.src == 0 else None)
+        conn = stacks[0].connect(stacks[1])
+        conn.forward.send(2000, obj="a")
+        conn.forward.send(2000, obj="b")
+        sim.run()
+        # each write: 1460 + 540 (1518 and 598 frames); no segment spans
+        assert sizes == [1518, 598, 1518, 598]
+
+    def test_push_delivery_still_in_order(self):
+        sim, bus, stacks = self.build()
+        conn = stacks[0].connect(stacks[1])
+        for i in range(10):
+            conn.forward.send(500, obj=i)
+        got = []
+
+        def rx(sim):
+            for _ in range(10):
+                m = yield conn.forward.mailbox.get()
+                got.append(m.obj)
+
+        sim.process(rx(sim))
+        sim.run()
+        assert got == list(range(10))

@@ -1,0 +1,194 @@
+"""Tests for the distributed-array layer: derived communication must
+match the paper's asymptotics and the hand-written kernels exactly."""
+
+import pytest
+
+from repro.fx import (
+    Axis,
+    CommPlan,
+    DistributedArray,
+    FxCluster,
+    FxRuntime,
+    Pattern,
+    WorkModel,
+    broadcast_plan,
+    gather_plan,
+    halo_exchange_plan,
+    pattern_pairs,
+    redistribute_plan,
+    reduce_plan,
+)
+from repro.programs import Fft2d, Hist, Seq, Sor
+
+
+def paper_array(element_bytes=8):
+    """The paper's N=512 matrix on P=4."""
+    return DistributedArray(512, 512, element_bytes, Axis.ROWS, 4)
+
+
+class TestDistributedArray:
+    def test_local_extents_row_block(self):
+        a = paper_array()
+        assert a.local_rows == 128
+        assert a.local_cols == 512
+        assert a.local_elements == 128 * 512
+        assert a.local_bytes == 128 * 512 * 8
+
+    def test_local_extents_col_block(self):
+        a = DistributedArray(512, 512, 4, Axis.COLS, 4)
+        assert a.local_rows == 512
+        assert a.local_cols == 128
+
+    def test_redistributed(self):
+        a = paper_array()
+        b = a.redistributed(Axis.COLS)
+        assert b.dist == Axis.COLS
+        assert b.rows == a.rows and b.element_bytes == a.element_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedArray(0, 4, 4, Axis.ROWS, 4)
+        with pytest.raises(ValueError):
+            DistributedArray(10, 10, 4, Axis.ROWS, 4)  # 10 % 4 != 0
+        with pytest.raises(ValueError):
+            DistributedArray(8, 8, 0, Axis.ROWS, 4)
+        with pytest.raises(ValueError):
+            DistributedArray(8, 8, 4, Axis.ROWS, 1)
+
+
+class TestDerivations:
+    def test_halo_matches_sor(self):
+        # SOR: 4-byte reals, one boundary row of N elements
+        a = DistributedArray(512, 512, 4, Axis.ROWS, 4)
+        plan = halo_exchange_plan(a, halo=1)
+        assert plan.pattern is Pattern.NEIGHBOR
+        assert plan.message_bytes == Sor(n=512).row_bytes == 2048
+        assert plan.pairs == pattern_pairs(Pattern.NEIGHBOR, 4)
+
+    def test_redistribute_matches_2dfft(self):
+        a = paper_array()
+        plan = redistribute_plan(a, Axis.COLS)
+        assert plan.pattern is Pattern.ALL_TO_ALL
+        assert plan.message_bytes == Fft2d(n=512).block_bytes(4) == 131072
+        assert len(plan.pairs) == 12
+        assert plan.total_bytes == 12 * 131072
+
+    def test_element_broadcast_matches_seq(self):
+        a = DistributedArray(40, 40, 8, Axis.ROWS, 4)
+        plan = broadcast_plan(a, element_wise=True)
+        assert plan.pattern is Pattern.BROADCAST
+        assert plan.message_bytes == Seq().element_bytes == 8
+
+    def test_reduce_matches_hist(self):
+        a = DistributedArray(512, 512, 4, Axis.ROWS, 4)
+        plan = reduce_plan(a, result_bytes=Hist().vector_bytes)
+        assert plan.pattern is Pattern.TREE
+        assert plan.message_bytes == 2048
+
+    def test_gather_moves_local_blocks(self):
+        a = paper_array()
+        plan = gather_plan(a)
+        assert plan.message_bytes == a.local_bytes
+
+    def test_col_block_halo(self):
+        a = DistributedArray(512, 256, 4, Axis.COLS, 4)
+        plan = halo_exchange_plan(a, halo=2)
+        assert plan.message_bytes == 2 * 512 * 4
+
+    def test_validation(self):
+        a = paper_array()
+        with pytest.raises(ValueError):
+            redistribute_plan(a, Axis.ROWS)  # same axis
+        with pytest.raises(ValueError):
+            halo_exchange_plan(a, halo=0)
+        with pytest.raises(ValueError):
+            halo_exchange_plan(a, halo=1000)  # exceeds the block
+        with pytest.raises(ValueError):
+            reduce_plan(a, result_bytes=0)
+        with pytest.raises(ValueError):
+            redistribute_plan(
+                DistributedArray(512, 510, 4, Axis.ROWS, 4), Axis.COLS
+            )
+
+
+class TestExecution:
+    """Array-level programs produce the hand-written kernels' traffic."""
+
+    def run_plan_program(self, body_factory, nprocs=4, seed=2):
+        cluster = FxCluster(n_machines=nprocs + 1, seed=seed)
+        wm = WorkModel(rate=1e6, jitter=0.0)
+        rt = FxRuntime(cluster, nprocs, wm)
+        procs = [cluster.sim.process(body_factory(ctx)) for ctx in rt.contexts]
+        cluster.sim.run(until=cluster.sim.all_of(procs))
+        return cluster.trace()
+
+    def test_redistribute_execution_matches_derivation(self):
+        a = paper_array()
+        plan = redistribute_plan(a, Axis.COLS)
+
+        def body(ctx):
+            yield from plan.execute(ctx)
+
+        trace = self.run_plan_program(body)
+        data = trace.kind(0)
+        assert set(data.connections()) == plan.pairs
+        # bytes on the wire = plan volume + per-message PVM headers
+        payload = sum(
+            s - 58 for s in data.sizes
+        )
+        from repro.pvm import MSG_HEADER
+
+        assert payload == plan.total_bytes + 12 * MSG_HEADER
+
+    def test_halo_execution(self):
+        a = DistributedArray(512, 512, 4, Axis.ROWS, 4)
+        plan = halo_exchange_plan(a)
+
+        def body(ctx):
+            yield from plan.execute(ctx)
+
+        trace = self.run_plan_program(body)
+        assert set(trace.kind(0).connections()) == pattern_pairs(
+            Pattern.NEIGHBOR, 4
+        )
+
+    def test_tree_execution(self):
+        a = paper_array()
+        plan = reduce_plan(a, result_bytes=2048)
+
+        def body(ctx):
+            yield from plan.execute(ctx)
+
+        trace = self.run_plan_program(body)
+        assert set(trace.kind(0).connections()) == pattern_pairs(
+            Pattern.TREE, 4
+        )
+
+    def test_array_level_2dfft_approximates_kernel(self):
+        """A 2DFFT written against distributed arrays reproduces the
+        hand-coded kernel's traffic volume per iteration."""
+        import math
+
+        a = paper_array()
+        plan = redistribute_plan(a, Axis.COLS)
+        sweep = (512 * 512 / 4) * math.log2(512)
+
+        def body(ctx):
+            for _ in range(3):
+                yield ctx.compute(sweep)
+                yield from plan.execute(ctx)
+                yield ctx.compute(sweep)
+
+        cluster = FxCluster(n_machines=5, seed=3)
+        from repro.programs import work_model_for
+
+        rt = FxRuntime(cluster, 4, work_model_for("2dfft", 3))
+        procs = [cluster.sim.process(body(ctx)) for ctx in rt.contexts]
+        cluster.sim.run(until=cluster.sim.all_of(procs))
+        array_trace = cluster.trace()
+
+        from repro.programs import run_measured
+
+        kernel_trace = run_measured("2dfft", seed=3, iterations=3)
+        ratio = array_trace.total_bytes / kernel_trace.total_bytes
+        assert 0.95 < ratio < 1.05

@@ -1,0 +1,118 @@
+"""Unit tests for pattern schedules and their static properties."""
+
+import numpy as np
+import pytest
+
+from repro.fx import (
+    Pattern,
+    connection_count,
+    connectivity_matrix,
+    pattern_pairs,
+    pattern_rounds,
+)
+
+
+ALL_PATTERNS = list(Pattern)
+
+
+class TestPatternPairs:
+    def test_neighbor_pairs_p4(self):
+        pairs = pattern_pairs(Pattern.NEIGHBOR, 4)
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)}
+
+    def test_all_to_all_pairs_count(self):
+        # paper: all-to-all uses all P(P-1) connections
+        for P in (2, 4, 8):
+            assert connection_count(Pattern.ALL_TO_ALL, P) == P * (P - 1)
+
+    def test_neighbor_connection_count(self):
+        # paper: at most 2P; exactly 2(P-1) on a line
+        for P in (2, 4, 8):
+            n = connection_count(Pattern.NEIGHBOR, P)
+            assert n == 2 * (P - 1)
+            assert n <= 2 * P
+
+    def test_partition_connection_count(self):
+        # paper: P^2/4 for an equal partition into halves
+        for P in (2, 4, 8):
+            assert connection_count(Pattern.PARTITION, P) == P * P // 4
+
+    def test_broadcast_pairs(self):
+        pairs = pattern_pairs(Pattern.BROADCAST, 4)
+        assert pairs == {(0, 1), (0, 2), (0, 3)}
+
+    def test_tree_pairs_p4(self):
+        pairs = pattern_pairs(Pattern.TREE, 4)
+        # up-sweep: 1->0, 3->2 (step 1); 2->0 (step 2); bcast 0->1,2,3
+        assert pairs == {(1, 0), (3, 2), (2, 0), (0, 1), (0, 2), (0, 3)}
+
+    def test_partition_sends_cross_partition_only(self):
+        for P in (4, 8):
+            half = P // 2
+            for s, d in pattern_pairs(Pattern.PARTITION, P):
+                assert s < half <= d
+
+    def test_too_few_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_pairs(Pattern.NEIGHBOR, 1)
+
+
+class TestPatternRounds:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_rounds_cover_exactly_the_pairs(self, pattern, P):
+        from_rounds = set()
+        for rnd in pattern_rounds(pattern, P):
+            from_rounds.update(rnd)
+        assert from_rounds == pattern_pairs(pattern, P)
+
+    def test_all_to_all_rounds_are_permutations(self):
+        P = 8
+        for rnd in pattern_rounds(Pattern.ALL_TO_ALL, P):
+            srcs = [s for s, _ in rnd]
+            dsts = [d for _, d in rnd]
+            assert sorted(srcs) == list(range(P))
+            assert sorted(dsts) == list(range(P))
+
+    def test_all_to_all_no_rank_sends_to_self(self):
+        for P in (2, 4, 8):
+            for rnd in pattern_rounds(Pattern.ALL_TO_ALL, P):
+                for s, d in rnd:
+                    assert s != d
+
+    def test_partition_rounds_are_matchings(self):
+        P = 8
+        half = P // 2
+        for rnd in pattern_rounds(Pattern.PARTITION, P):
+            assert len(rnd) == half
+            assert len({d for _, d in rnd}) == half  # no receiver repeated
+
+    def test_tree_round_structure_p8(self):
+        rounds = pattern_rounds(Pattern.TREE, 8)
+        # 3 up-sweep rounds + 1 broadcast
+        assert len(rounds) == 4
+        assert rounds[0] == [(1, 0), (3, 2), (5, 4), (7, 6)]
+        assert rounds[1] == [(2, 0), (6, 4)]
+        assert rounds[2] == [(4, 0)]
+        assert rounds[3] == [(0, d) for d in range(1, 8)]
+
+
+class TestConnectivityMatrix:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_matrix_matches_pairs(self, pattern):
+        P = 8
+        m = connectivity_matrix(pattern, P)
+        assert m.shape == (P, P)
+        pairs = pattern_pairs(pattern, P)
+        for s in range(P):
+            for d in range(P):
+                assert m[s, d] == (1 if (s, d) in pairs else 0)
+
+    def test_diagonal_always_zero(self):
+        for pattern in ALL_PATTERNS:
+            assert np.trace(connectivity_matrix(pattern, 8)) == 0
+
+    def test_all_to_all_is_full_off_diagonal(self):
+        m = connectivity_matrix(Pattern.ALL_TO_ALL, 4)
+        assert m.sum() == 12
+        assert np.all(m + np.eye(4, dtype=np.int8) == 1)

@@ -1,0 +1,261 @@
+"""Unit tests for the Fx runtime: compute model, context, collectives."""
+
+import random
+
+import pytest
+
+from repro.fx import (
+    FxCluster,
+    FxProgram,
+    FxRuntime,
+    Pattern,
+    WorkModel,
+    all_to_all,
+    broadcast,
+    collect,
+    neighbor_exchange,
+    partition_recv,
+    partition_send,
+    run_program,
+    tree_broadcast,
+    tree_reduce,
+)
+
+
+def make_runtime(nprocs=4, seed=0, **cluster_kwargs):
+    cluster = FxCluster(n_machines=nprocs + 1, seed=seed, **cluster_kwargs)
+    wm = WorkModel(rate=1e6, jitter=0.0, rng=random.Random(seed))
+    return cluster, FxRuntime(cluster, nprocs, wm)
+
+
+class TestWorkModel:
+    def test_duration_scales_with_work(self):
+        wm = WorkModel(rate=1000.0, jitter=0.0)
+        assert wm.duration(500) == pytest.approx(0.5)
+        assert wm.duration(0) == 0.0
+
+    def test_negative_work_rejected(self):
+        wm = WorkModel(rate=1000.0)
+        with pytest.raises(ValueError):
+            wm.duration(-1)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WorkModel(rate=0)
+        with pytest.raises(ValueError):
+            WorkModel(rate=1, jitter=-0.1)
+        with pytest.raises(ValueError):
+            WorkModel(rate=1, deschedule_rate=-1)
+
+    def test_jitter_varies_durations(self):
+        wm = WorkModel(rate=1000.0, jitter=0.05, rng=random.Random(1))
+        durations = {wm.duration(1000) for _ in range(10)}
+        assert len(durations) > 1
+        # all near the nominal 1s
+        assert all(0.7 < d < 1.3 for d in durations)
+
+    def test_deschedule_adds_delay(self):
+        wm = WorkModel(
+            rate=1000.0, jitter=0.0, deschedule_rate=1000.0,
+            deschedule_mean=0.1, rng=random.Random(2),
+        )
+        d = wm.duration(1000)
+        assert d > 1.0
+        assert wm.deschedules == 1
+
+    def test_clone_is_independent_stream(self):
+        wm = WorkModel(rate=1000.0, jitter=0.1, rng=random.Random(3))
+        c1 = wm.clone(10)
+        c2 = wm.clone(10)
+        assert c1.duration(100) == c2.duration(100)
+
+
+class TestContextBasics:
+    def test_compute_advances_time(self):
+        cluster, rt = make_runtime()
+        ctx = rt.contexts[0]
+
+        def body(ctx):
+            yield ctx.compute(1e6)  # 1 second at rate 1e6
+
+        cluster.sim.process(body(ctx))
+        cluster.sim.run()
+        assert cluster.sim.now == pytest.approx(1.0)
+
+    def test_send_recv_roundtrip(self):
+        cluster, rt = make_runtime()
+        got = []
+
+        def sender(ctx):
+            yield from ctx.send(1, 2048, tag=5, obj="row")
+
+        def receiver(ctx):
+            m = yield ctx.recv(0, tag=5)
+            got.append((m.obj, m.nbytes))
+
+        cluster.sim.process(sender(rt.contexts[0]))
+        cluster.sim.process(receiver(rt.contexts[1]))
+        cluster.sim.run()
+        assert got == [("row", 2048)]
+
+    def test_send_validation(self):
+        _, rt = make_runtime()
+        ctx = rt.contexts[0]
+        with pytest.raises(ValueError):
+            list(ctx.send(0, 100))  # self
+        with pytest.raises(ValueError):
+            list(ctx.send(9, 100))  # out of range
+        with pytest.raises(ValueError):
+            list(ctx.send(1, 100, fragments=0))
+
+    def test_barrier_synchronizes_ranks(self):
+        cluster, rt = make_runtime()
+        times = []
+
+        def body(ctx):
+            yield ctx.compute(1e5 * (ctx.rank + 1))  # staggered work
+            yield ctx.barrier()
+            times.append(cluster.sim.now)
+
+        for ctx in rt.contexts:
+            cluster.sim.process(body(ctx))
+        cluster.sim.run()
+        assert len(times) == 4
+        assert max(times) == min(times)
+        assert times[0] == pytest.approx(0.4)  # slowest rank gates all
+
+
+def run_collective(collective_factory, nprocs=4, seed=0):
+    """Run one collective across all ranks; return (cluster, trace)."""
+    cluster, rt = make_runtime(nprocs=nprocs, seed=seed)
+    procs = [
+        cluster.sim.process(collective_factory(ctx), name=f"rank{ctx.rank}")
+        for ctx in rt.contexts
+    ]
+    cluster.sim.run(until=cluster.sim.all_of(procs))
+    return cluster, cluster.trace()
+
+
+class TestCollectives:
+    def test_neighbor_exchange_uses_neighbor_connections(self):
+        from repro.fx import pattern_pairs
+
+        cluster, trace = run_collective(
+            lambda ctx: neighbor_exchange(ctx, 2048)
+        )
+        data = trace.kind(0)  # TCP data only
+        used = set(data.connections())
+        assert used == pattern_pairs(Pattern.NEIGHBOR, 4)
+
+    def test_all_to_all_uses_all_connections(self):
+        from repro.fx import pattern_pairs
+
+        cluster, trace = run_collective(lambda ctx: all_to_all(ctx, 4096))
+        data = trace.kind(0)
+        assert set(data.connections()) == pattern_pairs(Pattern.ALL_TO_ALL, 4)
+
+    def test_all_to_all_delivers_all_messages(self):
+        delivered = []
+
+        def body(ctx):
+            yield from all_to_all(ctx, 1000)
+            delivered.append(ctx.rank)
+
+        cluster, _ = run_collective(body)
+        assert sorted(delivered) == [0, 1, 2, 3]
+
+    def test_partition_moves_data_across_halves(self):
+        def body(ctx):
+            if ctx.rank < 2:
+                yield from partition_send(ctx, 8192)
+            else:
+                yield from partition_recv(ctx)
+
+        cluster, trace = run_collective(body)
+        data = trace.kind(0)
+        for s, d in data.connections():
+            assert s < 2 <= d
+
+    def test_partition_role_validation(self):
+        _, rt = make_runtime()
+        with pytest.raises(ValueError):
+            list(partition_send(rt.contexts[3], 100))
+        with pytest.raises(ValueError):
+            list(partition_recv(rt.contexts[0]))
+
+    def test_broadcast_from_root(self):
+        got = []
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from broadcast(ctx, 0, 500)
+            else:
+                yield from broadcast(ctx, 0, 500)
+                got.append(ctx.rank)
+
+        cluster, trace = run_collective(body)
+        assert sorted(got) == [1, 2, 3]
+        data = trace.kind(0)
+        assert all(s == 0 for s, _ in data.connections())
+
+    def test_collect_gathers_at_root(self):
+        def body(ctx):
+            yield from collect(ctx, 0, 700)
+
+        cluster, trace = run_collective(body)
+        data = trace.kind(0)
+        assert all(d == 0 for _, d in data.connections())
+        assert len(data.connections()) == 3
+
+    def test_tree_reduce_then_broadcast(self):
+        from repro.fx import pattern_pairs
+
+        def body(ctx):
+            yield from tree_reduce(ctx, 2048)
+            yield from tree_broadcast(ctx, 2048)
+
+        cluster, trace = run_collective(body)
+        data = trace.kind(0)
+        assert set(data.connections()) == pattern_pairs(Pattern.TREE, 4)
+
+
+class SimpleProgram(FxProgram):
+    name = "simple"
+    pattern = Pattern.NEIGHBOR
+
+    def __init__(self, nbytes=1024, work=1e5):
+        self.nbytes = nbytes
+        self.work = work
+
+    def rank_body(self, ctx):
+        yield ctx.compute(self.work)
+        yield from neighbor_exchange(ctx, self.nbytes)
+
+
+class TestProgramExecution:
+    def test_execute_returns_trace(self):
+        cluster, rt = make_runtime()
+        trace = rt.execute(SimpleProgram(), iterations=3)
+        assert len(trace) > 0
+        assert trace.duration > 0
+
+    def test_run_program_convenience(self):
+        trace = run_program(SimpleProgram(), nprocs=4, iterations=2, seed=1)
+        assert len(trace) > 0
+
+    def test_iterations_scale_traffic(self):
+        t2 = run_program(SimpleProgram(), iterations=2, seed=1)
+        t6 = run_program(SimpleProgram(), iterations=6, seed=1)
+        assert len(t6) > 2 * len(t2)
+
+    def test_determinism(self):
+        t1 = run_program(SimpleProgram(), iterations=3, seed=9)
+        t2 = run_program(SimpleProgram(), iterations=3, seed=9)
+        assert len(t1) == len(t2)
+        assert t1.times.tolist() == t2.times.tolist()
+
+    def test_too_many_ranks_rejected(self):
+        cluster = FxCluster(n_machines=3)
+        wm = WorkModel(rate=1e6)
+        with pytest.raises(ValueError):
+            FxRuntime(cluster, 4, wm)

@@ -1,0 +1,123 @@
+"""Unit tests for the experiment harness (smoke scale)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    EXPERIMENTS,
+    Artifact,
+    clear_trace_cache,
+    export_artifact,
+    format_matrix,
+    format_table,
+    get_trace,
+    run_experiment,
+)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["Name", "Value"], [("a", 1.0), ("bb", 22.5)])
+        lines = out.splitlines()
+        assert lines[0].startswith("Name")
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title_included(self):
+        out = format_table(["X"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [(1,)])
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["A"], [(float("nan"),)])
+        assert "-" in out.splitlines()[-1]
+
+    def test_format_matrix(self):
+        out = format_matrix([[0, 1], [1, 0]], title="t")
+        assert "x" in out and "." in out
+
+
+class TestRunnerCache:
+    def test_trace_cached(self):
+        clear_trace_cache()
+        a = get_trace("hist", "smoke", 3)
+        b = get_trace("hist", "smoke", 3)
+        assert a is b
+
+    def test_cache_distinguishes_seeds(self):
+        a = get_trace("hist", "smoke", 3)
+        b = get_trace("hist", "smoke", 4)
+        assert a is not b
+
+    def test_clear(self):
+        a = get_trace("hist", "smoke", 3)
+        clear_trace_cache()
+        b = get_trace("hist", "smoke", 3)
+        assert a is not b
+
+
+class TestExperiments:
+    def test_registry_covers_every_paper_artifact(self):
+        expected = {f"fig{i}" for i in range(1, 12)} | {
+            "model", "twin", "qos", "baseline",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_fig1_runs_without_traces(self):
+        art = run_experiment("fig1")
+        assert art.all_checks_pass
+        assert len(art.tables) == 5
+
+    def test_fig2_static(self):
+        art = run_experiment("fig2")
+        assert art.all_checks_pass
+
+    def test_artifact_render_contains_checks(self):
+        art = run_experiment("fig2")
+        text = art.render()
+        assert "PASS" in text
+        assert art.title in text
+
+    def test_fig5_smoke_scale(self):
+        art = run_experiment("fig5", scale="smoke", seed=1)
+        # shape criteria hold even at smoke scale
+        assert art.checks["2dfft heaviest"]
+        assert art.checks["below ethernet capacity"]
+
+    def test_fig7_smoke_scale(self):
+        art = run_experiment("fig7", scale="smoke", seed=1)
+        assert art.checks["seq fundamental ~4 Hz"]
+        assert art.checks["hist fundamental ~5 Hz"]
+
+
+class TestExport:
+    def test_export_layout(self, tmp_path):
+        art = Artifact(
+            "figX",
+            "test artifact",
+            tables={"t": "a table"},
+            series={"curve": (np.array([1.0, 2.0]), np.array([3.0, 4.0]))},
+            metrics={"m": 1.5},
+            checks={"ok": True},
+        )
+        root = export_artifact(art, tmp_path)
+        assert (root / "report.txt").exists()
+        assert (root / "curve.dat").exists()
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["metrics"]["m"] == 1.5
+        assert manifest["checks"]["ok"] is True
+        data = np.loadtxt(root / "curve.dat")
+        assert data.shape == (2, 2)
+
+    def test_export_real_experiment(self, tmp_path):
+        art = run_experiment("fig1")
+        root = export_artifact(art, tmp_path)
+        assert (root / "manifest.json").exists()

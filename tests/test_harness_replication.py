@@ -1,0 +1,49 @@
+"""Tests for multi-seed replication aggregation."""
+
+import pytest
+
+from repro.harness import Artifact, Replication, replicate
+from repro.harness.experiments import fig5_bandwidth
+
+
+def fake_runner(scale="smoke", seed=0):
+    return Artifact(
+        "fake",
+        "fake experiment",
+        metrics={"value": 10.0 + seed, "nanny": float("nan")},
+        checks={"always": True, "flaky": seed % 2 == 0},
+    )
+
+
+class TestReplicate:
+    def test_aggregates_metrics(self):
+        rep = replicate(fake_runner, seeds=(0, 1, 2))
+        assert rep.metric_means["value"] == pytest.approx(11.0)
+        assert rep.metric_sds["value"] > 0
+
+    def test_nan_metrics_dropped(self):
+        rep = replicate(fake_runner, seeds=(0, 1))
+        assert "nanny" not in rep.metric_means
+
+    def test_check_pass_rates(self):
+        rep = replicate(fake_runner, seeds=(0, 1, 2, 3))
+        assert rep.check_pass_rates["always"] == 1.0
+        assert rep.check_pass_rates["flaky"] == 0.5
+        assert not rep.all_checks_always_pass
+
+    def test_render_contains_tables(self):
+        rep = replicate(fake_runner, seeds=(0, 1))
+        text = rep.render()
+        assert "value" in text and "always" in text
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(fake_runner, seeds=())
+
+    def test_real_experiment_seed_robust(self):
+        """fig5's shape criteria hold across three seeds at smoke scale."""
+        rep = replicate(fig5_bandwidth, seeds=(0, 1, 2), scale="smoke")
+        assert rep.all_checks_always_pass
+        # 2DFFT's bandwidth is stable to within ~15% across seeds
+        cv = rep.metric_sds["2dfft/KB_s"] / rep.metric_means["2dfft/KB_s"]
+        assert cv < 0.15

@@ -1,0 +1,54 @@
+"""Unit tests for repro.net.frame size accounting."""
+
+import pytest
+
+from repro.net import (
+    BROADCAST,
+    ETHERNET_OVERHEAD,
+    MAX_MEASURED_SIZE,
+    MIN_MEASURED_SIZE,
+    EthernetFrame,
+)
+
+
+def test_overhead_is_18_bytes():
+    # 14-byte header + 4-byte FCS: what tcpdump's accounting includes.
+    assert ETHERNET_OVERHEAD == 18
+
+
+def test_tcp_ack_measures_58_bytes():
+    # 20 IP + 20 TCP + 18 Ethernet = the paper's minimum packet size.
+    frame = EthernetFrame(src=0, dst=1, payload_size=40)
+    assert frame.size == 58
+    assert frame.size == MIN_MEASURED_SIZE
+
+
+def test_full_segment_measures_1518_bytes():
+    # 1460 data + 20 TCP + 20 IP + 18 Ethernet = the paper's maximum.
+    frame = EthernetFrame(src=0, dst=1, payload_size=1500)
+    assert frame.size == 1518
+    assert frame.size == MAX_MEASURED_SIZE
+
+
+def test_wire_bytes_include_preamble_and_padding():
+    ack = EthernetFrame(src=0, dst=1, payload_size=40)
+    # 8 preamble + 14 header + 46 padded payload + 4 FCS
+    assert ack.wire_bytes == 72
+    big = EthernetFrame(src=0, dst=1, payload_size=1500)
+    assert big.wire_bytes == 8 + 14 + 1500 + 4
+    assert big.wire_bits == big.wire_bytes * 8
+
+
+def test_oversized_payload_rejected():
+    with pytest.raises(ValueError):
+        EthernetFrame(src=0, dst=1, payload_size=1501)
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        EthernetFrame(src=0, dst=1, payload_size=-1)
+
+
+def test_broadcast_address():
+    frame = EthernetFrame(src=0, dst=BROADCAST, payload_size=100)
+    assert frame.dst == BROADCAST

@@ -1,0 +1,193 @@
+"""Unit tests for the switched QoS fabric."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.net import BROADCAST, EthernetFrame, Nic, SwitchedFabric
+from repro.transport import HostStack
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    fabric = SwitchedFabric(sim, link_bps=10e6)
+    nics = [Nic(sim, fabric, i) for i in range(4)]
+    return sim, fabric, nics
+
+
+def test_basic_delivery(net):
+    sim, fabric, nics = net
+    got = []
+    nics[1].set_rx_handler(lambda f, t: got.append((f.src, t)))
+    nics[0].send(EthernetFrame(src=0, dst=1, payload_size=500))
+    sim.run()
+    assert len(got) == 1
+    # uplink + switch latency + downlink
+    frame = EthernetFrame(src=0, dst=1, payload_size=500)
+    expected = 2 * frame.wire_bits / 10e6 + fabric.switch_latency
+    assert got[0][1] == pytest.approx(expected)
+
+
+def test_full_duplex_no_contention(net):
+    """Disjoint flows do not interfere — unlike the shared bus."""
+    sim, fabric, nics = net
+    times = {}
+    nics[1].set_rx_handler(lambda f, t: times.__setitem__("0->1", t))
+    nics[3].set_rx_handler(lambda f, t: times.__setitem__("2->3", t))
+    frame_a = EthernetFrame(src=0, dst=1, payload_size=1500)
+    frame_b = EthernetFrame(src=2, dst=3, payload_size=1500)
+    nics[0].send(frame_a)
+    nics[2].send(frame_b)
+    sim.run()
+    # both arrive at the single-flow latency: truly parallel paths
+    assert times["0->1"] == pytest.approx(times["2->3"])
+
+
+def test_output_port_serializes_same_destination(net):
+    sim, fabric, nics = net
+    times = []
+    nics[2].set_rx_handler(lambda f, t: times.append(t))
+    nics[0].send(EthernetFrame(src=0, dst=2, payload_size=1500))
+    nics[1].send(EthernetFrame(src=1, dst=2, payload_size=1500))
+    sim.run()
+    assert len(times) == 2
+    downlink = EthernetFrame(src=0, dst=2, payload_size=1500).wire_bits / 10e6
+    assert times[1] - times[0] >= downlink * 0.99
+
+
+def test_broadcast_replicated_to_all(net):
+    sim, fabric, nics = net
+    got = {i: 0 for i in range(4)}
+    for i in range(4):
+        nics[i].set_rx_handler(lambda f, t, i=i: got.__setitem__(i, got[i] + 1))
+    nics[0].send(EthernetFrame(src=0, dst=BROADCAST, payload_size=100))
+    sim.run()
+    assert got == {0: 0, 1: 1, 2: 1, 3: 1}
+
+
+def test_unknown_destination_dropped(net):
+    sim, fabric, nics = net
+    nics[0].send(EthernetFrame(src=0, dst=9, payload_size=100))
+    sim.run()
+    assert fabric.stats.frames_dropped == 1
+
+
+def test_listener_sees_traffic(net):
+    sim, fabric, nics = net
+    seen = []
+    fabric.add_listener(lambda f, t: seen.append(f.src))
+    nics[0].send(EthernetFrame(src=0, dst=1, payload_size=100))
+    sim.run()
+    assert seen == [0]
+
+
+class TestReservations:
+    def test_reservation_validation(self, net):
+        sim, fabric, nics = net
+        with pytest.raises(ValueError):
+            fabric.reserve(0, 1, rate_bps=0)
+        with pytest.raises(ValueError):
+            fabric.reserve(0, 1, rate_bps=20e6)  # above link
+        with pytest.raises(ValueError):
+            fabric.reserve(0, 1, rate_bps=1e6, bucket_bytes=100)
+        fabric.reserve(0, 1, rate_bps=6e6)
+        with pytest.raises(ValueError):
+            fabric.reserve(0, 1, rate_bps=1e6)  # duplicate flow
+        with pytest.raises(ValueError):
+            fabric.reserve(2, 1, rate_bps=6e6)  # port over-subscribed
+
+    def test_release(self, net):
+        sim, fabric, nics = net
+        fabric.reserve(0, 1, rate_bps=5e6)
+        fabric.release_reservation(0, 1)
+        fabric.reserve(0, 1, rate_bps=5e6)  # can re-reserve
+        with pytest.raises(KeyError):
+            fabric.release_reservation(3, 1)
+
+    def test_reserved_flow_cuts_through_congestion(self):
+        """A reserved flow's latency survives a best-effort flood."""
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=10e6)
+        nics = [Nic(sim, fabric, i) for i in range(3)]
+        fabric.reserve(0, 2, rate_bps=5e6)
+
+        arrivals = []
+        nics[2].set_rx_handler(
+            lambda f, t: arrivals.append((f.src, t))
+        )
+
+        # station 1 floods station 2's downlink with best-effort frames
+        for _ in range(100):
+            nics[1].send(EthernetFrame(src=1, dst=2, payload_size=1500))
+
+        # station 0's reserved frame departs a moment later
+        def late_sender(sim):
+            yield sim.timeout(0.005)
+            nics[0].send(EthernetFrame(src=0, dst=2, payload_size=1500))
+
+        sim.process(late_sender(sim))
+        sim.run()
+        reserved_time = next(t for src, t in arrivals if src == 0)
+        flood_end = max(t for src, t in arrivals if src == 1)
+        # the reserved frame jumps the ~120ms flood queue
+        assert reserved_time < 0.01
+        assert flood_end > 0.1
+
+    def test_token_bucket_polices_reserved_rate(self):
+        """A reserved flow above its rate is throttled to it when
+        best-effort traffic exists (strict priority is policed)."""
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=10e6)
+        nics = [Nic(sim, fabric, i) for i in range(3)]
+        # reserve only 2 Mb/s for 0->2
+        fabric.reserve(0, 2, rate_bps=2e6, bucket_bytes=2048)
+
+        reserved_bytes = [0]
+        best_effort_bytes = [0]
+
+        def rx(f, t):
+            if f.src == 0:
+                reserved_bytes[0] += f.size
+            else:
+                best_effort_bytes[0] += f.size
+
+        nics[2].set_rx_handler(rx)
+        # both senders offer far more than the downlink
+        for _ in range(400):
+            nics[0].send(EthernetFrame(src=0, dst=2, payload_size=1500))
+            nics[1].send(EthernetFrame(src=1, dst=2, payload_size=1500))
+        sim.run(until=1.0)
+        # reserved flow gets ~2 Mb/s = 250 KB/s; best effort the rest
+        assert reserved_bytes[0] == pytest.approx(250e3, rel=0.3)
+        assert best_effort_bytes[0] > reserved_bytes[0]
+
+
+class TestFxOverSwitch:
+    def test_program_runs_over_switched_medium(self):
+        from repro.fx import FxCluster, FxRuntime
+        from repro.programs import make_program, work_model_for
+
+        cluster = FxCluster(n_machines=5, medium="switched", seed=1)
+        rt = FxRuntime(cluster, 4, work_model_for("hist", 1))
+        trace = rt.execute(make_program("hist"), iterations=5)
+        assert len(trace) > 0
+
+    def test_switch_speeds_up_all_to_all(self):
+        """Full-duplex switching shortens 2DFFT's communication phase."""
+        from repro.fx import FxCluster, FxRuntime
+        from repro.programs import make_program, work_model_for
+
+        def run(medium):
+            cluster = FxCluster(n_machines=5, medium=medium, seed=1)
+            rt = FxRuntime(cluster, 4, work_model_for("2dfft", 1))
+            return rt.execute(make_program("2dfft"), iterations=3)
+
+        shared = run("ethernet")
+        switched = run("switched")
+        assert switched.duration < shared.duration
+
+    def test_unknown_medium_rejected(self):
+        from repro.fx import FxCluster
+
+        with pytest.raises(ValueError):
+            FxCluster(n_machines=3, medium="carrier-pigeon")

@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import BandwidthSeries, binned_bandwidth, sliding_window_bandwidth
+from repro.capture import PacketTrace
+from repro.core import SpectralModel
+from repro.des import Simulator, Store
+from repro.fx import Pattern, pattern_pairs, pattern_rounds
+from repro.net import EthernetBus, EthernetFrame, Nic
+from repro.transport import HostStack
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# DES engine
+# ---------------------------------------------------------------------------
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1000,
+                                 allow_nan=False), min_size=1, max_size=50))
+@SLOW
+def test_des_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        t = sim.timeout(d)
+        t.callbacks.append(lambda e, d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=40))
+@SLOW
+def test_des_store_is_fifo(items):
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def producer(sim):
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(0.001)
+
+    def consumer(sim):
+        for _ in items:
+            got = yield store.get()
+            out.append(got)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert out == items
+
+
+@given(
+    n_procs=st.integers(min_value=1, max_value=8),
+    steps=st.integers(min_value=1, max_value=10),
+)
+@SLOW
+def test_des_clock_never_goes_backwards(n_procs, steps):
+    sim = Simulator()
+    times = []
+
+    def proc(sim, period):
+        for _ in range(steps):
+            yield sim.timeout(period)
+            times.append(sim.now)
+
+    for i in range(n_procs):
+        sim.process(proc(sim, 0.1 * (i + 1)))
+    sim.run()
+    assert times == sorted(times)
+
+
+# ---------------------------------------------------------------------------
+# Traces and bandwidth
+# ---------------------------------------------------------------------------
+
+packet_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.integers(min_value=58, max_value=1518),
+    ),
+    min_size=2,
+    max_size=200,
+)
+
+
+def build_trace(packets):
+    rows = [(t, s, 0, 1, 6, 0) for t, s in sorted(packets)]
+    return PacketTrace.from_rows(rows)
+
+
+@given(packets=packet_lists)
+@SLOW
+def test_binned_bandwidth_conserves_bytes(packets):
+    trace = build_trace(packets)
+    series = binned_bandwidth(trace, 0.05)
+    total_kb = series.values.sum() * 0.05
+    assert total_kb == pytest.approx(trace.total_bytes / 1024, rel=1e-9)
+
+
+@given(packets=packet_lists)
+@SLOW
+def test_sliding_window_positive_and_bounded(packets):
+    trace = build_trace(packets)
+    _, bw = sliding_window_bandwidth(trace, window=0.01)
+    assert (bw > 0).all()
+    # no window can hold more than all bytes
+    assert bw.max() * 0.01 * 1024 <= trace.total_bytes + 1e-6
+
+
+@given(packets=packet_lists, split=st.integers(min_value=0, max_value=3))
+@SLOW
+def test_connection_filters_partition_trace(packets, split):
+    rows = [
+        (t, s, i % 4, (i + 1 + split) % 4, 6, 0)
+        for i, (t, s) in enumerate(sorted(packets))
+    ]
+    trace = PacketTrace(np.array(rows, dtype=trace_dtype()))
+    total = sum(len(trace.connection(s, d)) for s, d in trace.connections())
+    assert total == len(trace)
+
+
+def trace_dtype():
+    from repro.capture.trace import TRACE_DTYPE
+
+    return TRACE_DTYPE
+
+
+# ---------------------------------------------------------------------------
+# Spectral model: the paper's convergence claim as a law
+# ---------------------------------------------------------------------------
+
+@given(
+    data=st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False),
+                  min_size=8, max_size=256),
+)
+@SLOW
+def test_model_error_monotone_in_spikes(data):
+    series = BandwidthSeries(0.0, 0.01, np.array(data))
+    full = SpectralModel.fit(series, n_spikes=len(data))
+    prev = float("inf")
+    for k in range(0, len(data) + 1, max(1, len(data) // 6)):
+        err = full.truncated(k).error(series)
+        assert err <= prev + 1e-9
+        prev = err
+
+
+@given(
+    data=st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False),
+                  min_size=4, max_size=128),
+)
+@SLOW
+def test_model_full_reconstruction_exact(data):
+    series = BandwidthSeries(0.0, 0.01, np.array(data))
+    model = SpectralModel.fit(series, n_spikes=len(data))
+    xh = model.reconstruct(series.times)
+    assert np.allclose(xh, series.values, atol=1e-6)
+
+
+@given(
+    mean=st.floats(min_value=0, max_value=1000, allow_nan=False),
+    amps=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                  max_size=5),
+)
+@SLOW
+def test_model_reconstruction_bounded(mean, amps):
+    from repro.core import Spike
+
+    spikes = [Spike(freq=i + 1.0, amplitude=a, phase=0.0)
+              for i, a in enumerate(amps)]
+    model = SpectralModel(mean, spikes)
+    t = np.linspace(0, 10, 500)
+    x = model.reconstruct(t)
+    bound = mean + sum(amps) + 1e-9
+    assert (np.abs(x - mean) <= sum(amps) + 1e-9).all()
+    assert x.max() <= bound
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+@given(
+    pattern=st.sampled_from(list(Pattern)),
+    P=st.integers(min_value=2, max_value=32),
+)
+@SLOW
+def test_rounds_exactly_cover_pairs(pattern, P):
+    covered = set()
+    for rnd in pattern_rounds(pattern, P):
+        for pair in rnd:
+            covered.add(pair)
+    assert covered == pattern_pairs(pattern, P)
+
+
+@given(
+    pattern=st.sampled_from(list(Pattern)),
+    P=st.integers(min_value=2, max_value=32),
+)
+@SLOW
+def test_no_self_sends(pattern, P):
+    for s, d in pattern_pairs(pattern, P):
+        assert s != d
+        assert 0 <= s < P and 0 <= d < P
+
+
+@given(P=st.integers(min_value=2, max_value=64))
+@SLOW
+def test_all_to_all_pair_count(P):
+    assert len(pattern_pairs(Pattern.ALL_TO_ALL, P)) == P * (P - 1)
+
+
+# ---------------------------------------------------------------------------
+# TCP: stream delivery invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=20000),
+                   min_size=1, max_size=12),
+)
+@SLOW
+def test_tcp_delivers_all_messages_in_order(sizes):
+    sim = Simulator()
+    bus = EthernetBus(sim, seed=11)
+    stacks = [HostStack(sim, Nic(sim, bus, i), i) for i in range(2)]
+    conn = stacks[0].connect(stacks[1])
+    for i, nbytes in enumerate(sizes):
+        conn.forward.send(nbytes, obj=i)
+    got = []
+
+    def receiver(sim):
+        for _ in sizes:
+            msg = yield conn.forward.mailbox.get()
+            got.append((msg.obj, msg.nbytes))
+
+    sim.process(receiver(sim))
+    sim.run()
+    assert got == list(enumerate(sizes))
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=8000),
+                   min_size=1, max_size=8),
+)
+@SLOW
+def test_tcp_wire_bytes_match_payload(sizes):
+    sim = Simulator()
+    bus = EthernetBus(sim, seed=13)
+    stacks = [HostStack(sim, Nic(sim, bus, i), i) for i in range(2)]
+    data_bytes = []
+    bus.add_listener(
+        lambda f, t: data_bytes.append(f.size - 58)
+        if f.src == 0 else None
+    )
+    conn = stacks[0].connect(stacks[1])
+    for nbytes in sizes:
+        conn.forward.send(nbytes)
+    sim.run()
+    assert sum(data_bytes) == sum(sizes)

@@ -1,0 +1,188 @@
+"""Property-based tests for the extension modules: switched fabric,
+replay, QoS monotonicity, and array-derivation conservation laws."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.capture import PacketTrace, replay_trace
+from repro.core import Network, TrafficCharacterization
+from repro.des import Simulator
+from repro.fx import (
+    Axis,
+    DistributedArray,
+    Pattern,
+    halo_exchange_plan,
+    redistribute_plan,
+)
+from repro.net import EthernetFrame, Nic, SwitchedFabric
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# switched fabric: conservation and ordering
+# ---------------------------------------------------------------------------
+
+@given(
+    sizes=st.lists(st.integers(min_value=58, max_value=1518),
+                   min_size=1, max_size=30),
+)
+@SLOW
+def test_switch_delivers_every_frame_once(sizes):
+    sim = Simulator()
+    fabric = SwitchedFabric(sim)
+    nics = [Nic(sim, fabric, i) for i in range(3)]
+    got = []
+    nics[2].set_rx_handler(lambda f, t: got.append(f.size))
+    for i, s in enumerate(sizes):
+        src = i % 2
+        nics[src].send(EthernetFrame(src=src, dst=2,
+                                     payload_size=max(0, s - 18)))
+    sim.run()
+    assert sorted(got) == sorted(max(0, s - 18) + 18 for s in sizes)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    rate_frac=st.floats(min_value=0.1, max_value=1.0),
+)
+@SLOW
+def test_reserved_flow_always_completes(n, rate_frac):
+    sim = Simulator()
+    fabric = SwitchedFabric(sim, link_bps=10e6)
+    nics = [Nic(sim, fabric, i) for i in range(2)]
+    fabric.reserve(0, 1, rate_bps=rate_frac * 10e6)
+    got = [0]
+    nics[1].set_rx_handler(lambda f, t: got.__setitem__(0, got[0] + 1))
+    for _ in range(n):
+        nics[0].send(EthernetFrame(src=0, dst=1, payload_size=1000))
+    sim.run()
+    assert got[0] == n
+
+
+@given(
+    order=st.permutations(list(range(6))),
+)
+@SLOW
+def test_same_source_frames_stay_ordered(order):
+    sim = Simulator()
+    fabric = SwitchedFabric(sim)
+    nics = [Nic(sim, fabric, i) for i in range(2)]
+    seen = []
+    nics[1].set_rx_handler(lambda f, t: seen.append(f.payload))
+    for tag in order:
+        nics[0].send(EthernetFrame(src=0, dst=1, payload_size=500,
+                                   payload=tag))
+    sim.run()
+    assert seen == list(order)
+
+
+# ---------------------------------------------------------------------------
+# replay: byte conservation under any offered load
+# ---------------------------------------------------------------------------
+
+@given(
+    packets=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=2.0, allow_nan=False),
+            st.integers(min_value=58, max_value=1518),
+        ),
+        min_size=1, max_size=60,
+    ),
+)
+@SLOW
+def test_replay_conserves_packets_and_bytes(packets):
+    rows = [(t, s, i % 3, (i + 1) % 3, 6, 0)
+            for i, (t, s) in enumerate(sorted(packets))]
+    trace = PacketTrace.from_rows(rows)
+    out = replay_trace(trace, seed=3)
+    assert len(out) == len(trace)
+    assert out.total_bytes == trace.total_bytes
+    assert np.all(np.diff(out.times) >= 0)
+
+
+# ---------------------------------------------------------------------------
+# QoS: monotonicity laws
+# ---------------------------------------------------------------------------
+
+@given(
+    committed_frac=st.floats(min_value=0.0, max_value=0.8),
+    volume=st.floats(min_value=1e4, max_value=1e7),
+    work=st.floats(min_value=0.0, max_value=100.0),
+)
+@SLOW
+def test_commitments_never_improve_burst_interval(committed_frac, volume, work):
+    char = TrafficCharacterization(
+        name="x",
+        pattern=Pattern.ALL_TO_ALL,
+        local_time=lambda P: work / P,
+        burst_bytes=lambda P: volume / (P * P),
+    )
+    free = Network(capacity=1.25e6)
+    busy = Network(capacity=1.25e6)
+    if committed_frac > 0:
+        busy.commit("other", committed_frac * busy.available)
+    for P in (2, 4, 8):
+        t_free = char.burst_interval(P, free.burst_bandwidth_for(char.pattern, P))
+        t_busy = char.burst_interval(P, busy.burst_bandwidth_for(char.pattern, P))
+        assert t_busy >= t_free - 1e-12
+
+
+@given(
+    volume=st.floats(min_value=1e4, max_value=1e7),
+)
+@SLOW
+def test_burst_length_decreases_with_bandwidth(volume):
+    char = TrafficCharacterization(
+        name="x",
+        pattern=Pattern.NEIGHBOR,
+        local_time=lambda P: 1.0,
+        burst_bytes=lambda P: volume,
+    )
+    lengths = [char.burst_length(4, b) for b in (1e4, 1e5, 1e6)]
+    assert lengths == sorted(lengths, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# arrays: conservation laws of derived communication
+# ---------------------------------------------------------------------------
+
+@given(
+    logn=st.integers(min_value=3, max_value=9),
+    logp=st.integers(min_value=1, max_value=3),
+    element_bytes=st.sampled_from([4, 8]),
+)
+@SLOW
+def test_redistribution_moves_all_but_diagonal(logn, logp, element_bytes):
+    """A transpose moves exactly (P-1)/P of the array's bytes."""
+    n, P = 1 << logn, 1 << logp
+    if P >= n:
+        return
+    arr = DistributedArray(n, n, element_bytes, Axis.ROWS, P)
+    plan = redistribute_plan(arr, Axis.COLS)
+    total_array_bytes = n * n * element_bytes
+    expected = total_array_bytes * (P - 1) // P
+    assert plan.total_bytes == expected
+
+
+@given(
+    logn=st.integers(min_value=3, max_value=9),
+    logp=st.integers(min_value=1, max_value=3),
+    halo=st.integers(min_value=1, max_value=4),
+)
+@SLOW
+def test_halo_volume_scales_with_boundary(logn, logp, halo):
+    n, P = 1 << logn, 1 << logp
+    if P >= n or halo > n // P:
+        return
+    arr = DistributedArray(n, n, 4, Axis.ROWS, P)
+    plan = halo_exchange_plan(arr, halo=halo)
+    # message = halo rows of n elements, on 2(P-1) connections
+    assert plan.message_bytes == halo * n * 4
+    assert plan.total_bytes == 2 * (P - 1) * halo * n * 4

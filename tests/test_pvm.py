@@ -1,0 +1,252 @@
+"""Unit tests for the PVM layer: packing, routing, daemons."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.net import EthernetBus, Nic
+from repro.pvm import (
+    KEEPALIVE_BYTES,
+    MSG_HEADER,
+    PvmMessage,
+    Route,
+    VirtualMachine,
+)
+from repro.transport import HostStack
+
+
+def build_vm(n=4, **vm_kwargs):
+    sim = Simulator()
+    bus = EthernetBus(sim, seed=7)
+    stacks = [HostStack(sim, Nic(sim, bus, i), i, name=f"alpha{i}") for i in range(n)]
+    vm = VirtualMachine(sim, stacks, **vm_kwargs)
+    return sim, bus, vm
+
+
+class TestPvmMessage:
+    def test_empty_message(self):
+        m = PvmMessage(tag=3)
+        assert m.data_bytes == 0
+        assert m.total_bytes == MSG_HEADER
+        assert not m.is_fragmented
+        assert m.wire_fragments() == [MSG_HEADER]
+
+    def test_single_pack(self):
+        m = PvmMessage().pack(1000)
+        assert m.data_bytes == 1000
+        assert m.total_bytes == 1000 + MSG_HEADER
+        assert not m.is_fragmented
+        assert m.wire_fragments() == [1000 + MSG_HEADER]
+
+    def test_multi_pack_fragments(self):
+        m = PvmMessage()
+        for _ in range(4):
+            m.pack(500)
+        assert m.is_fragmented
+        frags = m.wire_fragments()
+        assert frags == [500 + MSG_HEADER, 500, 500, 500]
+        assert sum(frags) == m.total_bytes
+
+    def test_negative_pack_rejected(self):
+        with pytest.raises(ValueError):
+            PvmMessage().pack(-1)
+
+    def test_pack_chains(self):
+        m = PvmMessage().pack(10).pack(20)
+        assert m.data_bytes == 30
+
+
+class TestDirectRoute:
+    def test_send_recv(self):
+        sim, bus, vm = build_vm()
+        t0 = vm.spawn(0, "t0")
+        t1 = vm.spawn(1, "t1")
+        got = []
+
+        def sender(sim):
+            msg = PvmMessage(tag=9, obj="payload").pack(4000)
+            yield from vm.send(t0, t1, msg)
+
+        def receiver(sim):
+            m = yield t1.recv()
+            got.append(m)
+
+        sim.process(sender(sim))
+        sim.process(receiver(sim))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].obj == "payload"
+        assert got[0].tag == 9
+        assert got[0].nbytes == 4000
+        assert got[0].src_task == t0.tid
+
+    def test_recv_filters_by_tag(self):
+        sim, bus, vm = build_vm()
+        t0, t1 = vm.spawn(0), vm.spawn(1)
+        order = []
+
+        def sender(sim):
+            yield from vm.send(t0, t1, PvmMessage(tag=1, obj="one").pack(100))
+            yield from vm.send(t0, t1, PvmMessage(tag=2, obj="two").pack(100))
+
+        def receiver(sim):
+            m2 = yield t1.recv(tag=2)
+            order.append(m2.obj)
+            m1 = yield t1.recv(tag=1)
+            order.append(m1.obj)
+
+        sim.process(sender(sim))
+        sim.process(receiver(sim))
+        sim.run()
+        assert order == ["two", "one"]
+
+    def test_recv_filters_by_source(self):
+        sim, bus, vm = build_vm()
+        t0, t1, t2 = vm.spawn(0), vm.spawn(1), vm.spawn(2)
+        got = []
+
+        def sender(sim, src, text):
+            yield from vm.send(src, t2, PvmMessage(tag=0, obj=text).pack(50))
+
+        def receiver(sim):
+            m = yield t2.recv(source=t1.tid)
+            got.append(m.obj)
+
+        sim.process(sender(sim, t0, "from0"))
+        sim.process(sender(sim, t1, "from1"))
+        sim.process(receiver(sim))
+        sim.run()
+        assert got == ["from1"]
+
+    def test_traffic_on_the_wire(self):
+        sim, bus, vm = build_vm()
+        records = []
+        bus.add_listener(lambda f, t: records.append(f.size))
+        t0, t1 = vm.spawn(0), vm.spawn(1)
+
+        def sender(sim):
+            yield from vm.send(t0, t1, PvmMessage().pack(4000))
+
+        sim.process(sender(sim))
+        sim.run()
+        # 4024 bytes -> 2 full frames + remainder + ACKs
+        assert records.count(1518) == 2
+        assert 58 in records
+
+    def test_same_host_send_generates_no_traffic(self):
+        sim, bus, vm = build_vm()
+        count = [0]
+        bus.add_listener(lambda f, t: count.__setitem__(0, count[0] + 1))
+        t0a = vm.spawn(0, "a")
+        t0b = vm.spawn(0, "b")
+        got = []
+
+        def sender(sim):
+            yield from vm.send(t0a, t0b, PvmMessage(obj="local").pack(10000))
+
+        def receiver(sim):
+            m = yield t0b.recv()
+            got.append(m.obj)
+
+        sim.process(sender(sim))
+        sim.process(receiver(sim))
+        sim.run()
+        assert got == ["local"]
+        assert count[0] == 0
+
+    def test_connections_are_reused(self):
+        sim, bus, vm = build_vm()
+        t0, t1 = vm.spawn(0), vm.spawn(1)
+
+        def sender(sim):
+            for _ in range(3):
+                yield from vm.send(t0, t1, PvmMessage().pack(100))
+            yield from vm.send(t1, t0, PvmMessage().pack(100))
+
+        sim.process(sender(sim))
+        sim.run()
+        assert len(vm._connections) == 1
+
+    def test_fragmented_send_order_preserved(self):
+        sim, bus, vm = build_vm()
+        t0, t1 = vm.spawn(0), vm.spawn(1)
+        got = []
+
+        def sender(sim):
+            frag = PvmMessage(tag=0, obj="fragged")
+            for _ in range(8):
+                frag.pack(512)
+            yield from vm.send(t0, t1, frag)
+            yield from vm.send(t0, t1, PvmMessage(tag=0, obj="after").pack(100))
+
+        def receiver(sim):
+            for _ in range(2):
+                m = yield t1.recv()
+                got.append((m.obj, m.nbytes))
+
+        sim.process(sender(sim))
+        sim.process(receiver(sim))
+        sim.run()
+        assert got == [("fragged", 8 * 512), ("after", 100)]
+
+
+class TestDaemonRoute:
+    def test_daemon_route_delivery(self):
+        sim, bus, vm = build_vm()
+        t0, t1 = vm.spawn(0), vm.spawn(1)
+        got = []
+
+        def sender(sim):
+            yield from vm.send(
+                t0, t1, PvmMessage(obj="viad").pack(300), route=Route.DEFAULT
+            )
+
+        def receiver(sim):
+            m = yield t1.recv()
+            got.append(m.obj)
+
+        sim.process(sender(sim))
+        sim.process(receiver(sim))
+        sim.run()
+        assert got == ["viad"]
+        assert vm.machines[0].daemon.datagrams_routed == 1
+
+    def test_daemon_route_uses_udp_frames(self):
+        sim, bus, vm = build_vm()
+        sizes = []
+        bus.add_listener(lambda f, t: sizes.append(f.size))
+        t0, t1 = vm.spawn(0), vm.spawn(1)
+
+        def sender(sim):
+            yield from vm.send(
+                t0, t1, PvmMessage().pack(300), route=Route.DEFAULT
+            )
+
+        sim.process(sender(sim))
+        sim.run()
+        # one UDP datagram: 300 data + 8 + 20 + 18 = 346; no TCP ACKs
+        assert sizes == [346]
+
+    def test_keepalive_chatter(self):
+        sim, bus, vm = build_vm(n=3, keepalive_interval=5.0)
+        sizes = []
+        bus.add_listener(lambda f, t: sizes.append(f.size))
+        sim.run(until=12.0)
+        # each of 3 daemons pings 2 peers at least twice in 12 s
+        expected_size = KEEPALIVE_BYTES + 8 + 20 + 18
+        assert sizes.count(expected_size) >= 12
+
+
+class TestSpawn:
+    def test_tids_unique_and_registered(self):
+        sim, bus, vm = build_vm()
+        tasks = [vm.spawn(i % 4) for i in range(8)]
+        tids = [t.tid for t in tasks]
+        assert len(set(tids)) == 8
+        for t in tasks:
+            assert vm.task(t.tid) is t
+
+    def test_machine_assignment(self):
+        sim, bus, vm = build_vm()
+        t = vm.spawn(2, "worker")
+        assert t.host_id == 2
+        assert t in vm.machines[2].tasks

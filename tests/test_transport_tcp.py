@@ -1,0 +1,210 @@
+"""Unit tests for TCP-lite: segmentation, windowing, ACKs, delivery."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.net import EthernetBus, Nic
+from repro.transport import TCP_MSS, HostStack
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    bus = EthernetBus(sim, seed=3)
+    stacks = [HostStack(sim, Nic(sim, bus, i), i, name=f"h{i}") for i in range(4)]
+    return sim, bus, stacks
+
+
+def capture(bus):
+    records = []
+    bus.add_listener(lambda f, t: records.append((t, f.src, f.dst, f.size)))
+    return records
+
+
+def test_small_message_single_segment(net):
+    sim, bus, stacks = net
+    records = capture(bus)
+    conn = stacks[0].connect(stacks[1])
+    conn.forward.send(100, obj="hello")
+    sim.run()
+    msgs = [conn.forward.mailbox.get().value]
+    assert msgs[0].obj == "hello"
+    assert msgs[0].nbytes == 100
+    # one data frame (100 + 40 + 18 = 158 B) and one delayed ACK (58 B)
+    sizes = sorted(s for _, _, _, s in records)
+    assert sizes == [58, 158]
+
+
+def test_large_message_segments_at_mss(net):
+    sim, bus, stacks = net
+    records = capture(bus)
+    conn = stacks[0].connect(stacks[1])
+    nbytes = 10000
+    conn.forward.send(nbytes, obj="big")
+    sim.run()
+    data_sizes = [s for _, src, _, s in records if src == 0]
+    # 6 full segments of 1460 payload (1518 B frames) + remainder
+    assert data_sizes.count(1518) == nbytes // TCP_MSS
+    remainder = nbytes % TCP_MSS
+    assert (remainder + 40 + 18) in data_sizes
+    assert sum(data_sizes) == nbytes + len(data_sizes) * 58
+
+
+def test_message_delivered_once_fully_received(net):
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1])
+    conn.forward.send(5000, obj="m")
+    got = []
+
+    def receiver(sim):
+        msg = yield conn.forward.mailbox.get()
+        got.append((sim.now, msg.obj, msg.nbytes))
+
+    sim.process(receiver(sim))
+    sim.run()
+    assert len(got) == 1
+    t, obj, nbytes = got[0]
+    assert obj == "m" and nbytes == 5000
+    # must take at least the wire time of 5000 bytes
+    assert t >= 5000 * 8 / bus_bandwidth(stacks)
+
+
+def bus_bandwidth(stacks):
+    return stacks[0].nic.bus.bandwidth_bps
+
+
+def test_messages_delivered_in_order(net):
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1])
+    for i in range(10):
+        conn.forward.send(2000, obj=i)
+    order = []
+
+    def receiver(sim):
+        for _ in range(10):
+            msg = yield conn.forward.mailbox.get()
+            order.append(msg.obj)
+
+    sim.process(receiver(sim))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_acks_every_second_segment(net):
+    sim, bus, stacks = net
+    records = capture(bus)
+    conn = stacks[0].connect(stacks[1])
+    conn.forward.send(TCP_MSS * 10, obj=None)
+    sim.run()
+    acks = [r for r in records if r[1] == 1 and r[3] == 58]
+    assert len(acks) == 5  # one per two segments
+
+
+def test_delayed_ack_timer_fires_for_odd_segment(net):
+    sim, bus, stacks = net
+    records = capture(bus)
+    conn = stacks[0].connect(stacks[1])
+    conn.forward.send(100, obj=None)  # single segment: timer path
+    sim.run()
+    acks = [t for t, src, _, s in records if src == 1 and s == 58]
+    assert len(acks) == 1
+    # the ACK came from the 200ms fallback timer, not immediately
+    assert acks[0] >= 0.2
+
+
+def test_window_limits_bytes_in_flight(net):
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1], window=4096)
+    pipe = conn.forward
+    pipe.send(100000, obj=None)
+    max_flight = [0]
+
+    def probe(sim):
+        while pipe._rcv_bytes < 100000:
+            max_flight[0] = max(max_flight[0], pipe.bytes_in_flight)
+            yield sim.timeout(0.0005)
+
+    sim.process(probe(sim))
+    sim.run()
+    assert max_flight[0] <= 4096
+    assert pipe._rcv_bytes == 100000
+
+
+def test_sndbuf_backpressure_blocks_sender(net):
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1], sndbuf=8192)
+    log = []
+
+    def app(sim):
+        for i in range(8):
+            ev = conn.forward.send(4096, obj=i)
+            yield ev
+            log.append((i, sim.now))
+
+    sim.process(app(sim))
+    sim.run()
+    # first sends accepted immediately, later ones had to wait for ACKs
+    assert log[0][1] == 0.0
+    assert log[-1][1] > 0.0
+    assert len(log) == 8
+
+
+def test_bidirectional_traffic(net):
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1])
+    conn.forward.send(3000, obj="a->b")
+    conn.reverse.send(4000, obj="b->a")
+    sim.run()
+    assert conn.forward.mailbox.get().value.obj == "a->b"
+    assert conn.reverse.mailbox.get().value.obj == "b->a"
+
+
+def test_pipe_from_selects_direction(net):
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1])
+    assert conn.pipe_from(0) is conn.forward
+    assert conn.pipe_from(1) is conn.reverse
+    with pytest.raises(ValueError):
+        conn.pipe_from(2)
+
+
+def test_self_connection_rejected(net):
+    sim, bus, stacks = net
+    with pytest.raises(ValueError):
+        stacks[0].connect(stacks[0])
+
+
+def test_zero_byte_message_delivered(net):
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1])
+    conn.forward.send(0, obj="empty")
+    conn.forward.send(10, obj="tail")
+    sim.run()
+    first = conn.forward.mailbox.get().value
+    assert first.obj == "empty" and first.nbytes == 0
+
+
+def test_negative_size_rejected(net):
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1])
+    with pytest.raises(ValueError):
+        conn.forward.send(-1)
+
+
+def test_concurrent_connections_do_not_interfere(net):
+    sim, bus, stacks = net
+    c01 = stacks[0].connect(stacks[1])
+    c23 = stacks[2].connect(stacks[3])
+    c01.forward.send(5000, obj="x")
+    c23.forward.send(5000, obj="y")
+    sim.run()
+    assert c01.forward.mailbox.get().value.obj == "x"
+    assert c23.forward.mailbox.get().value.obj == "y"
+
+
+def test_invalid_parameters_rejected(net):
+    sim, bus, stacks = net
+    with pytest.raises(ValueError):
+        stacks[0].connect(stacks[1], window=0)
+    with pytest.raises(ValueError):
+        stacks[0].connect(stacks[1], mss=2000)

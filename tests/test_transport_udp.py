@@ -1,0 +1,104 @@
+"""Unit tests for UDP-lite and the host stack demux."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.net import EthernetBus, Nic
+from repro.transport import UDP_MAX_PAYLOAD, HostStack
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    bus = EthernetBus(sim, seed=5)
+    stacks = [HostStack(sim, Nic(sim, bus, i), i, name=f"h{i}") for i in range(3)]
+    return sim, bus, stacks
+
+
+def test_datagram_delivery(net):
+    sim, bus, stacks = net
+    rx = stacks[1].udp_socket(7000)
+    tx = stacks[0].udp_socket()
+    tx.sendto(100, dst_host=1, dst_port=7000, obj="ping")
+    sim.run()
+    msg = rx.mailbox.get().value
+    assert msg.obj == "ping"
+    assert msg.nbytes == 100
+    assert msg.src_host == 0
+    assert msg.src_port == tx.port
+
+
+def test_datagram_wire_size(net):
+    sim, bus, stacks = net
+    sizes = []
+    bus.add_listener(lambda f, t: sizes.append(f.size))
+    stacks[1].udp_socket(7000)
+    tx = stacks[0].udp_socket()
+    tx.sendto(100, dst_host=1, dst_port=7000)
+    sim.run()
+    # 100 data + 8 UDP + 20 IP + 18 Ethernet
+    assert sizes == [146]
+
+
+def test_large_datagram_fragments(net):
+    sim, bus, stacks = net
+    sizes = []
+    bus.add_listener(lambda f, t: sizes.append(f.size))
+    rx = stacks[1].udp_socket(7000)
+    tx = stacks[0].udp_socket()
+    nbytes = 3000
+    tx.sendto(nbytes, dst_host=1, dst_port=7000, obj="big")
+    sim.run()
+    assert len(sizes) == 3  # 1472 + 1480 + remainder
+    assert max(sizes) == 1518
+    msg = rx.mailbox.get().value
+    assert msg.nbytes == 3000
+
+
+def test_unbound_port_datagram_dropped(net):
+    sim, bus, stacks = net
+    tx = stacks[0].udp_socket()
+    tx.sendto(10, dst_host=1, dst_port=9999)
+    sim.run()  # should not raise
+
+
+def test_ephemeral_ports_unique(net):
+    sim, bus, stacks = net
+    s1 = stacks[0].udp_socket()
+    s2 = stacks[0].udp_socket()
+    assert s1.port != s2.port
+
+
+def test_duplicate_bind_rejected(net):
+    sim, bus, stacks = net
+    stacks[0].udp_socket(5555)
+    with pytest.raises(ValueError):
+        stacks[0].udp_socket(5555)
+
+
+def test_negative_size_rejected(net):
+    sim, bus, stacks = net
+    tx = stacks[0].udp_socket()
+    with pytest.raises(ValueError):
+        tx.sendto(-5, dst_host=1, dst_port=7000)
+
+
+def test_two_sockets_demultiplexed(net):
+    sim, bus, stacks = net
+    rx_a = stacks[1].udp_socket(7000)
+    rx_b = stacks[1].udp_socket(7001)
+    tx = stacks[0].udp_socket()
+    tx.sendto(10, dst_host=1, dst_port=7000, obj="a")
+    tx.sendto(10, dst_host=1, dst_port=7001, obj="b")
+    sim.run()
+    assert rx_a.mailbox.get().value.obj == "a"
+    assert rx_b.mailbox.get().value.obj == "b"
+
+
+def test_zero_byte_datagram(net):
+    sim, bus, stacks = net
+    rx = stacks[1].udp_socket(7000)
+    tx = stacks[0].udp_socket()
+    tx.sendto(0, dst_host=1, dst_port=7000, obj="empty")
+    sim.run()
+    assert rx.mailbox.get().value.nbytes == 0
