@@ -8,6 +8,12 @@ Each benchmark times a full experiment reproduction once (``pedantic``
 with one round — simulating a multi-minute cluster measurement is the
 workload, not a microbenchmark), prints the reproduced tables next to
 the paper's numbers, and asserts the experiment's shape criteria.
+
+Benchmarks run with the persistent trace cache enabled (default
+``results/.trace-cache``, override with ``REPRO_TRACE_CACHE``), so a
+second run reuses the expensive simulated traces and times only the
+analysis.  Delete the directory or run ``repro cache clear`` for a
+cold-cache measurement.
 """
 
 import os
@@ -16,6 +22,17 @@ import pytest
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+CACHE_DIR = os.environ.get("REPRO_TRACE_CACHE", "results/.trace-cache")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def trace_cache():
+    """Enable the on-disk trace cache for the whole benchmark session."""
+    from repro.harness import configure_trace_store
+
+    store = configure_trace_store(disk_dir=CACHE_DIR)
+    yield store
+    print(f"\n[trace cache] {store.disk_dir}: {store.stats.as_dict()}")
 
 
 @pytest.fixture(scope="session")

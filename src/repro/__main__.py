@@ -7,6 +7,13 @@ Usage::
                              [--export DIR]
     python -m repro all [--scale ...] [--seed N] [--export DIR]
     python -m repro trace 2dfft --out trace.npz [--scale ...] [--text]
+    python -m repro cache stats|clear|warm [--jobs N] [--dir DIR]
+
+``run``/``all``/``cache`` share the persistent trace cache (default
+``results/.trace-cache``, override with ``--cache-dir`` or the
+``REPRO_TRACE_CACHE`` environment variable): traces simulated once —
+serially or by ``cache warm``'s worker pool — are reused by every later
+invocation.
 """
 
 from __future__ import annotations
@@ -17,6 +24,16 @@ import sys
 from .harness import ABLATIONS, EXPERIMENTS, export_artifact
 
 ALL_RUNNERS = {**EXPERIMENTS, **ABLATIONS}
+
+DEFAULT_CACHE_DIR = "results/.trace-cache"
+
+
+def _store(args):
+    """The process-wide trace store, with the CLI's disk layer enabled."""
+    from .harness import configure_trace_store
+
+    directory = getattr(args, "cache_dir", None) or DEFAULT_CACHE_DIR
+    return configure_trace_store(disk_dir=directory)
 
 
 def _cmd_list(args) -> int:
@@ -46,11 +63,15 @@ def _cmd_run(args) -> int:
         print(f"unknown experiment {args.experiment!r}; "
               f"known: {', '.join(ALL_RUNNERS)}", file=sys.stderr)
         return 2
+    if not args.no_cache:
+        _store(args)
     ok = _run_one(args.experiment, args)
     return 0 if ok else 1
 
 
 def _cmd_all(args) -> int:
+    if not args.no_cache:
+        _store(args)
     failures = []
     runners = ALL_RUNNERS if args.ablations else EXPERIMENTS
     for exp_id in runners:
@@ -61,6 +82,64 @@ def _cmd_all(args) -> int:
         print(f"shape criteria FAILED for: {', '.join(failures)}", file=sys.stderr)
         return 1
     print("all shape criteria pass")
+    return 0
+
+
+# -- trace cache ------------------------------------------------------
+
+
+def _cmd_cache_stats(args) -> int:
+    store = _store(args)
+    entries = store.disk_entries()
+    total = sum(e["bytes"] for e in entries)
+    print(f"cache dir: {store.disk_dir}")
+    print(f"entries:   {len(entries)}  ({total / 1024:.1f} KiB)")
+    for e in entries:
+        key = e.get("key", {})
+        tag = (f"{key.get('name', '?')}/{key.get('scale', '?')}"
+               f"/seed{key.get('seed', '?')}")
+        extra = " +overrides" if key.get("overrides") else ""
+        print(f"  {e['digest'][:12]}  schema={e.get('schema')}  "
+              f"{e.get('packets', 0):>8} pkts  {tag}{extra}")
+    print(f"this process: {store.stats.as_dict()}")
+    return 0
+
+
+def _cmd_cache_clear(args) -> int:
+    store = _store(args)
+    removed = store.clear(disk=True)
+    print(f"removed {removed} cache files from {store.disk_dir}")
+    return 0
+
+
+def _cmd_cache_warm(args) -> int:
+    from .harness.experiments import trace_specs
+    from .programs import PROGRAMS
+
+    store = _store(args)
+    try:
+        seeds = [int(s) for s in args.seeds.split(",")]
+    except ValueError:
+        print(f"--seeds must be comma-separated integers, got {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    programs = args.programs.split(",") if args.programs else None
+    unknown = [p for p in programs or () if p not in PROGRAMS]
+    if unknown:
+        print(f"unknown programs: {', '.join(unknown)}; "
+              f"known: {', '.join(PROGRAMS)}", file=sys.stderr)
+        return 2
+    specs = trace_specs(scale=args.scale, seeds=seeds, programs=programs)
+    results = store.warm(specs, jobs=args.jobs)
+    produced = sum(1 for r in results if r.produced)
+    for r in results:
+        state = "produced" if r.produced else "cached  "
+        print(f"{state}  {r.key.describe():<28} {r.packets:>8} pkts  "
+              f"sha256={r.trace_sha256[:16]}")
+    print(f"warm complete: {produced} produced, "
+          f"{len(results) - produced} already cached "
+          f"({args.jobs} job{'s' if args.jobs != 1 else ''}) "
+          f"-> {store.disk_dir}")
     return 0
 
 
@@ -96,6 +175,10 @@ def main(argv=None) -> int:
         p.add_argument("--scale", default="default",
                        choices=["smoke", "default", "full"])
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help=f"persistent trace cache ({DEFAULT_CACHE_DIR})")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent trace cache")
 
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment")
@@ -120,6 +203,38 @@ def main(argv=None) -> int:
     p_tr.add_argument("--text", action="store_true",
                       help="write tcpdump-style text instead of npz")
     p_tr.set_defaults(fn=_cmd_trace)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect, clear, or warm the persistent trace cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_common(p):
+        p.add_argument("--dir", dest="cache_dir", metavar="DIR", default=None,
+                       help=f"cache directory ({DEFAULT_CACHE_DIR})")
+
+    p_stats = cache_sub.add_parser("stats", help="list cached traces and counters")
+    add_cache_common(p_stats)
+    p_stats.set_defaults(fn=_cmd_cache_stats)
+
+    p_clear = cache_sub.add_parser("clear", help="delete every cached trace")
+    add_cache_common(p_clear)
+    p_clear.set_defaults(fn=_cmd_cache_clear)
+
+    p_warm = cache_sub.add_parser(
+        "warm", help="produce the experiments' traces through a worker pool"
+    )
+    add_cache_common(p_warm)
+    p_warm.add_argument("--jobs", type=int, default=1,
+                        help="parallel production workers")
+    p_warm.add_argument("--scale", default="default",
+                        choices=["smoke", "default", "full"])
+    p_warm.add_argument("--seeds", default="0",
+                        help="comma-separated seed list (default: 0)")
+    p_warm.add_argument("--programs", default=None,
+                        help="comma-separated program subset "
+                             "(default: the experiment warm set)")
+    p_warm.set_defaults(fn=_cmd_cache_warm)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -54,7 +54,13 @@ class BandwidthSeries:
         return len(self.values)
 
     def slice(self, t0: float, t1: float) -> "BandwidthSeries":
-        """The sub-series covering [t0, t1)."""
+        """The sub-series covering [t0, t1).
+
+        Only whole samples are kept: the first sample at or after ``t0``
+        through the last sample starting before ``t1``.  A partially
+        covered sample at either edge is excluded, so the slice's byte
+        total can be smaller than the bytes falling in [t0, t1).
+        """
         i0 = max(0, int(np.ceil((t0 - self.t0) / self.dt)))
         i1 = min(len(self.values), int(np.ceil((t1 - self.t0) / self.dt)))
         return BandwidthSeries(self.t0 + i0 * self.dt, self.dt, self.values[i0:i1])
@@ -104,6 +110,13 @@ def binned_bandwidth(
 
     Every packet is assigned to the bin containing its timestamp; each
     bin's byte total divided by the bin width gives KB/s.
+
+    With the default bounds every packet lands in a bin (``t1`` extends
+    one bin past the last packet), so the series conserves the trace's
+    byte total: ``sum(values) * bin_width == trace.total_bytes``.  An
+    explicit ``t1`` truncates: packets at or after the last edge are
+    dropped from the series, matching the paper's practice of chopping
+    traces to the measurement interval.
     """
     if bin_width <= 0:
         raise ValueError(f"bin_width must be positive, got {bin_width}")

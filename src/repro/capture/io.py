@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 import io
+import os
 from pathlib import Path
 from typing import Union
 
@@ -11,7 +13,16 @@ import numpy as np
 from ..transport import PROTO_TCP, PROTO_UDP
 from .trace import TRACE_DTYPE, PacketTrace
 
-__all__ = ["save_npz", "load_npz", "to_text", "from_text", "save_text", "load_text"]
+__all__ = [
+    "save_npz",
+    "save_npz_atomic",
+    "load_npz",
+    "to_text",
+    "from_text",
+    "save_text",
+    "load_text",
+    "trace_digest",
+]
 
 _PROTO_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp", 0: "other"}
 _PROTO_CODES = {v: k for k, v in _PROTO_NAMES.items()}
@@ -20,6 +31,34 @@ _PROTO_CODES = {v: k for k, v in _PROTO_NAMES.items()}
 def save_npz(trace: PacketTrace, path: Union[str, Path]) -> None:
     """Save a trace as a compressed npz file."""
     np.savez_compressed(str(path), packets=trace.data)
+
+
+def save_npz_atomic(trace: PacketTrace, path: Union[str, Path]) -> None:
+    """Save a trace so concurrent readers never see a partial file.
+
+    Writes to a temporary sibling and renames into place — the property
+    the parallel trace-cache warmers rely on when several processes
+    target the same cache directory.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, packets=trace.data)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def trace_digest(trace: PacketTrace) -> str:
+    """SHA-256 over the trace's packed records.
+
+    Two traces digest equal iff every timestamp, size, address, and kind
+    byte is identical — the check behind "parallel production is
+    byte-identical to serial".
+    """
+    return hashlib.sha256(trace.data.tobytes()).hexdigest()
 
 
 def load_npz(path: Union[str, Path]) -> PacketTrace:

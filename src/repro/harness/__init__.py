@@ -5,7 +5,14 @@ from .experiments import EXPERIMENTS, Artifact, run_experiment
 from .figures import export_artifact
 from .plots import ascii_plot, render_series
 from .replication import Replication, replicate
-from .runner import REPRESENTATIVE_CONNECTIONS, clear_trace_cache, get_trace
+from .runner import (
+    REPRESENTATIVE_CONNECTIONS,
+    clear_trace_cache,
+    configure_trace_store,
+    get_trace,
+    trace_store,
+)
+from .store import TRACE_SCHEMA_VERSION, CacheStats, TraceKey, TraceStore
 from .tables import format_matrix, format_table
 
 __all__ = [
@@ -19,6 +26,12 @@ __all__ = [
     "replicate",
     "get_trace",
     "clear_trace_cache",
+    "trace_store",
+    "configure_trace_store",
+    "TraceStore",
+    "TraceKey",
+    "CacheStats",
+    "TRACE_SCHEMA_VERSION",
     "REPRESENTATIVE_CONNECTIONS",
     "format_table",
     "ascii_plot",

@@ -40,9 +40,10 @@ from ..analysis import (
 )
 from ..capture import KIND_TCP_ACK, KIND_TCP_DATA, KIND_UDP
 from ..fx import FxCluster, FxRuntime
-from ..programs import make_program, run_measured, work_model_for
+from ..programs import make_program, work_model_for
 from ..pvm import Route
 from .experiments import EXPERIMENTS, Artifact
+from .runner import get_trace
 from .tables import format_table
 
 __all__ = ["ABLATIONS", "run_ablation"]
@@ -56,8 +57,8 @@ def abl_bandwidth(scale: str = "default", seed: int = 0) -> Artifact:
     rows = []
     fundamentals = {}
     for mbps in (10, 25, 100):
-        trace = run_measured(
-            "2dfft", seed=seed, iterations=10,
+        trace = get_trace(
+            "2dfft", scale, seed, iterations=10,
             cluster_kwargs={"bandwidth_bps": mbps * 1e6},
         )
         series = binned_bandwidth(trace, 0.010)
@@ -86,8 +87,6 @@ def abl_window(scale: str = "default", seed: int = 0) -> Artifact:
     """The 10 ms averaging window (paper §5/§6): fundamentals are
     invariant to the bin width while the Nyquist range allows them."""
     art = Artifact("abl-window", "Bandwidth bin width vs spectral content (HIST)")
-    from .runner import get_trace
-
     trace = get_trace("hist", scale, seed)
     rows = []
     f0s = {}
@@ -118,8 +117,8 @@ def abl_fragment(scale: str = "default", seed: int = 0) -> Artifact:
     rows = []
     stats = {}
     for label, multi in (("fragment list (measured)", True), ("copy loop", False)):
-        trace = run_measured(
-            "t2dfft", seed=seed, iterations=8,
+        trace = get_trace(
+            "t2dfft", scale, seed, iterations=8,
             program_kwargs={"multi_pack": multi},
         )
         conn = trace.connection(0, 2)
@@ -152,7 +151,7 @@ def abl_route(scale: str = "default", seed: int = 0) -> Artifact:
     counts = {}
     for label, route in (("direct (TCP)", Route.DIRECT),
                          ("daemon (UDP)", Route.DEFAULT)):
-        trace = run_measured("hist", seed=seed, iterations=20, route=route)
+        trace = get_trace("hist", scale, seed, iterations=20, route=route)
         tcp_data = len(trace.kind(KIND_TCP_DATA))
         acks = len(trace.kind(KIND_TCP_ACK))
         udp = len(trace.kind(KIND_UDP))
@@ -181,8 +180,8 @@ def abl_ack(scale: str = "default", seed: int = 0) -> Artifact:
     rows = []
     acks = {}
     for every in (1, 2, 4):
-        trace = run_measured(
-            "2dfft", seed=seed, iterations=6,
+        trace = get_trace(
+            "2dfft", scale, seed, iterations=6,
             cluster_kwargs={"tcp_kwargs": {"ack_every": every}},
         )
         n_ack = len(trace.kind(KIND_TCP_ACK))
@@ -207,7 +206,7 @@ def abl_procs(scale: str = "default", seed: int = 0) -> Artifact:
     rows = []
     for P in (2, 4, 8):
         prog = make_program("2dfft")
-        trace = run_measured("2dfft", nprocs=P, seed=seed, iterations=8)
+        trace = get_trace("2dfft", scale, seed, nprocs=P, iterations=8)
         series = binned_bandwidth(trace, 0.010)
         f0 = fundamental_frequency(power_spectrum(series))
         bw = average_bandwidth(trace)
@@ -288,7 +287,6 @@ def abl_model(scale: str = "default", seed: int = 0) -> Artifact:
     """Spike selection: top-k magnitude vs a harmonic comb at equal
     coefficient budgets (an extension of §7.2's truncation)."""
     from ..core import SpectralModel
-    from .runner import get_trace
 
     art = Artifact(
         "abl-model", "Spectral model selection: top-k vs harmonic comb (HIST)"
@@ -420,8 +418,8 @@ def abl_airshed(scale: str = "default", seed: int = 0) -> Artifact:
     data = {}
     for s_count in (17, 35, 70):
         prog = Airshed(species=s_count)
-        trace = run_measured(
-            "airshed", seed=seed, iterations=3,
+        trace = get_trace(
+            "airshed", scale, seed, iterations=3,
             program_kwargs={"species": s_count},
         )
         chem_s = prog.chemistry_total / 4 / 1e6

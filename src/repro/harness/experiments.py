@@ -51,7 +51,24 @@ from ..programs import CALIBRATIONS, KERNELS, PROGRAMS, kernel_table, make_progr
 from .runner import REPRESENTATIVE_CONNECTIONS, get_trace
 from .tables import format_matrix, format_table
 
-__all__ = ["Artifact", "EXPERIMENTS", "run_experiment"]
+__all__ = ["Artifact", "EXPERIMENTS", "TRACE_PROGRAMS", "run_experiment",
+           "trace_specs"]
+
+#: Programs whose measured traces the experiments consume: the five
+#: kernels plus AIRSHED.  This is the default warm set for
+#: ``repro cache warm`` and :func:`repro.harness.replicate` with jobs.
+TRACE_PROGRAMS: Tuple[str, ...] = KERNELS + ("airshed",)
+
+
+def trace_specs(scale: str = "default", seeds=(0,), programs=None):
+    """(name, scale, seed) production jobs covering the experiments.
+
+    The unit of parallelism for :meth:`TraceStore.warm`: every
+    trace-based experiment at ``scale``/``seeds`` is served from cache
+    once these jobs have run.
+    """
+    names = TRACE_PROGRAMS if programs is None else tuple(programs)
+    return [(name, scale, seed) for seed in seeds for name in names]
 
 
 @dataclass

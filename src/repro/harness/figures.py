@@ -40,12 +40,23 @@ def export_artifact(artifact: Artifact, directory: Union[str, Path]) -> Path:
         header = f"{artifact.exp_id}: {name}\ncolumns: x y"
         np.savetxt(path, data, header=header)
         files.append(path.name)
+    from .runner import trace_store
+    from .store import TRACE_SCHEMA_VERSION
+
+    store = trace_store()
     manifest = {
         "exp_id": artifact.exp_id,
         "title": artifact.title,
         "metrics": artifact.metrics,
         "checks": artifact.checks,
         "series_files": files,
+        # Trace provenance: which pipeline produced the inputs, and how
+        # the cache behaved while this artifact was computed.
+        "trace_pipeline": {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "cache_dir": str(store.disk_dir) if store.disk_dir else None,
+            "cache_stats": store.stats.as_dict(),
+        },
     }
 
     def _tojson(o):

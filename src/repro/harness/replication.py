@@ -59,14 +59,26 @@ def replicate(
     runner: Callable[..., Artifact],
     seeds: Sequence[int] = (0, 1, 2),
     scale: str = "smoke",
+    jobs: int = 1,
 ) -> Replication:
     """Run ``runner(scale=..., seed=...)`` per seed and aggregate.
 
     Metrics that are not finite numbers for every seed are dropped from
     the aggregation (some experiments report NaN placeholders).
+
+    ``jobs > 1`` pre-warms the trace store in parallel — one worker per
+    (program, seed) production job — before the (cheap, trace-reusing)
+    per-seed analyses run serially.  The full cross-process speedup
+    needs the store's disk layer (see ``repro cache``); without it the
+    warm degrades to serial in-process production.
     """
     if not seeds:
         raise ValueError("need at least one seed")
+    if jobs > 1:
+        from .experiments import trace_specs
+        from .runner import trace_store
+
+        trace_store().warm(trace_specs(scale=scale, seeds=seeds), jobs=jobs)
     artifacts = [runner(scale=scale, seed=s) for s in seeds]
     rep = Replication(exp_id=artifacts[0].exp_id, seeds=list(seeds))
 

@@ -2,17 +2,27 @@
 
 Figures 3-7 all analyse the same five kernel traces and Figures 8-11 the
 same AIRSHED trace, so traces are produced once per (program, scale,
-seed) and shared across experiments within a process.
+seed, overrides) and shared — within a process through the
+:class:`~repro.harness.store.TraceStore` LRU layer, and across processes
+through its on-disk cache (enabled by the ``REPRO_TRACE_CACHE``
+environment variable, ``repro cache``, or :func:`configure_trace_store`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import os
+from typing import Dict, Optional, Tuple
 
 from ..capture import PacketTrace
-from ..programs import run_measured
+from .store import TraceStore
 
-__all__ = ["get_trace", "clear_trace_cache", "REPRESENTATIVE_CONNECTIONS"]
+__all__ = [
+    "get_trace",
+    "clear_trace_cache",
+    "trace_store",
+    "configure_trace_store",
+    "REPRESENTATIVE_CONNECTIONS",
+]
 
 #: The representative connection analysed per program (paper §6.1):
 #: SOR/2DFFT pick an arbitrary (adjacent, for SOR) machine pair; T2DFFT a
@@ -25,18 +35,43 @@ REPRESENTATIVE_CONNECTIONS: Dict[str, Tuple[int, int]] = {
     "airshed": (1, 2),
 }
 
-_CACHE: Dict[Tuple[str, str, int], PacketTrace] = {}
+_STORE: TraceStore = TraceStore.from_env()
 
 
-def get_trace(name: str, scale: str = "default", seed: int = 0) -> PacketTrace:
-    """The measured trace of one program, cached per process."""
-    key = (name, scale, seed)
-    trace = _CACHE.get(key)
-    if trace is None:
-        trace = run_measured(name, scale=scale, seed=seed)
-        _CACHE[key] = trace
-    return trace
+def trace_store() -> TraceStore:
+    """The process-wide trace store."""
+    return _STORE
+
+
+def configure_trace_store(
+    capacity: Optional[int] = None,
+    disk_dir: Optional[os.PathLike] = None,
+) -> TraceStore:
+    """Replace the process-wide store (e.g. to enable the disk layer).
+
+    Statistics reset; the memory layer starts empty.  Returns the new
+    store.
+    """
+    global _STORE
+    _STORE = TraceStore(
+        capacity=capacity if capacity is not None else _STORE.capacity,
+        disk_dir=disk_dir,
+    )
+    return _STORE
+
+
+def get_trace(name: str, scale: str = "default", seed: int = 0,
+              **overrides) -> PacketTrace:
+    """The measured trace of one program, cached across experiments.
+
+    ``overrides`` (iterations, nprocs, route, ``program_kwargs``,
+    ``cluster_kwargs``, ...) are forwarded to
+    :func:`repro.programs.run_measured` and participate in the cache key,
+    so ablation variants are cached alongside the standard runs.
+    """
+    return _STORE.get(name, scale=scale, seed=seed, **overrides)
 
 
 def clear_trace_cache() -> None:
-    _CACHE.clear()
+    """Drop the in-memory layer (the disk layer, if any, is kept)."""
+    _STORE.clear()

@@ -1,0 +1,414 @@
+"""TraceStore: parallel, persistent trace production.
+
+Every figure, table, ablation, and replication run analyses traces that
+are expensive to produce (minutes of discrete-event simulation) and
+cheap to store (a compressed structured array).  The store separates
+trace *production* from trace *analysis*:
+
+* an in-memory LRU layer bounds the per-process working set and keeps
+  the hot traces of a figure sweep resident;
+* an on-disk cache under ``results/.trace-cache/`` persists finished
+  traces across processes, keyed by a content digest of everything that
+  determines the trace bytes — program name, scale, seed, run-time
+  overrides, and a pipeline schema version;
+* :meth:`TraceStore.warm` fans production out across a
+  ``multiprocessing`` pool, one worker per (program, scale, seed) job.
+  Workers write through the same on-disk cache, so a warmed store serves
+  benchmarks, figures, ablations, and the CLI without re-simulating.
+
+Production is deterministic (the DES is exactly repeatable given a
+seed), so parallel and serial production yield byte-identical traces;
+``repro cache warm`` prints each trace's SHA-256 so that property is
+checkable from the command line.
+
+Cache key schema (``TRACE_SCHEMA_VERSION``)
+-------------------------------------------
+The digest covers ``(schema, name, scale, seed, overrides)`` where
+``overrides`` is the canonicalized kwargs forwarded to
+:func:`repro.programs.run_measured` (iterations, nprocs, route,
+``program_kwargs``, ``cluster_kwargs``, ...).  Bump the schema version
+whenever simulation semantics change — MAC timing, TCP segmentation,
+work-model calibration — so stale traces can never masquerade as fresh
+ones.  ``repro cache clear`` wipes the directory outright.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..capture import PacketTrace, load_npz, save_npz_atomic, trace_digest
+from ..programs import run_measured
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceKey",
+    "CacheStats",
+    "TraceStore",
+    "WarmResult",
+]
+
+#: Bump when simulation semantics change: any MAC/transport/work-model
+#: fix invalidates every cached trace.  Version 2 = post carrier-sense /
+#: busy-time / zero-byte-send fixes.
+TRACE_SCHEMA_VERSION = 2
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join("results", ".trace-cache")
+
+#: Environment switch: set REPRO_TRACE_CACHE to a directory to enable
+#: the persistent layer for every process (empty string disables).
+CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
+
+
+def _canonical(value):
+    """Reduce override values to a JSON-stable form for digesting."""
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Everything that determines a produced trace's bytes."""
+
+    name: str
+    scale: str = "default"
+    seed: int = 0
+    overrides: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, scale: str = "default", seed: int = 0,
+             **overrides) -> "TraceKey":
+        frozen = tuple(
+            (k, json.dumps(_canonical(v), sort_keys=True))
+            for k, v in sorted(overrides.items())
+        )
+        return cls(name=name, scale=scale, seed=seed, overrides=frozen)
+
+    @property
+    def override_kwargs(self) -> dict:
+        """The overrides as keyword arguments for ``run_measured``.
+
+        Only round-trippable for JSON-representable values; keys created
+        through :meth:`TraceStore.get` keep the original kwargs alongside
+        and never need this.
+        """
+        return {k: json.loads(v) for k, v in self.overrides}
+
+    def digest(self) -> str:
+        payload = json.dumps(
+            {
+                "schema": TRACE_SCHEMA_VERSION,
+                "name": self.name,
+                "scale": self.scale,
+                "seed": self.seed,
+                "overrides": list(self.overrides),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def describe(self) -> str:
+        tail = f" +{len(self.overrides)} overrides" if self.overrides else ""
+        return f"{self.name}/{self.scale}/seed{self.seed}{tail}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters across both cache layers."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_writes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.requests
+        return (self.memory_hits + self.disk_hits) / n if n else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_writes": self.disk_writes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class WarmResult:
+    """Outcome of one warmed cache entry."""
+
+    key: TraceKey
+    digest: str
+    trace_sha256: str
+    packets: int
+    produced: bool  # False when the entry was already cached
+
+
+def _produce_entry(args):
+    """Pool worker: produce one trace and write it through the disk cache.
+
+    Module-level so it pickles under the ``spawn`` start method.  Returns
+    (cache digest, trace sha256, packet count, produced?).
+    """
+    name, scale, seed, override_kwargs, cache_digest, cache_dir = args
+    directory = Path(cache_dir)
+    npz = directory / f"{cache_digest}.npz"
+    if npz.exists():
+        trace = load_npz(npz)
+        return cache_digest, trace_digest(trace), len(trace), False
+    trace = run_measured(name, scale=scale, seed=seed, **override_kwargs)
+    sha = _write_entry(directory, cache_digest, trace,
+                       {"name": name, "scale": scale, "seed": seed,
+                        "overrides": override_kwargs})
+    return cache_digest, sha, len(trace), True
+
+
+def _write_entry(directory: Path, digest: str, trace: PacketTrace,
+                 describe: dict) -> str:
+    """Write the npz + metadata pair for one cache entry atomically."""
+    directory.mkdir(parents=True, exist_ok=True)
+    sha = trace_digest(trace)
+    save_npz_atomic(trace, directory / f"{digest}.npz")
+    meta = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "key": describe,
+        "packets": len(trace),
+        "trace_sha256": sha,
+    }
+    meta_path = directory / f"{digest}.json"
+    tmp = meta_path.with_name(f".{meta_path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(meta, indent=2, default=str))
+    os.replace(tmp, meta_path)
+    return sha
+
+
+class TraceStore:
+    """Two-layer trace cache with parallel production.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum traces held in memory; least-recently-used entries are
+        evicted once exceeded (they remain on disk when persistence is
+        enabled).
+    disk_dir:
+        Directory for the persistent layer, or ``None`` for memory-only
+        operation (the default for unit tests, where stale traces must
+        never mask code changes).
+    """
+
+    def __init__(self, capacity: int = 32,
+                 disk_dir: Optional[os.PathLike] = None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir: Optional[Path] = Path(disk_dir) if disk_dir else None
+        self.stats = CacheStats()
+        self._lru: "OrderedDict[TraceKey, PacketTrace]" = OrderedDict()
+
+    @classmethod
+    def from_env(cls, capacity: int = 32) -> "TraceStore":
+        """A store honouring the ``REPRO_TRACE_CACHE`` environment switch."""
+        return cls(capacity=capacity,
+                   disk_dir=os.environ.get(CACHE_ENV_VAR) or None)
+
+    # -- lookup --------------------------------------------------------
+    def get(self, name: str, scale: str = "default", seed: int = 0,
+            **overrides) -> PacketTrace:
+        """The trace for a key, produced at most once across layers."""
+        key = TraceKey.make(name, scale=scale, seed=seed, **overrides)
+        trace = self._lru.get(key)
+        if trace is not None:
+            self._lru.move_to_end(key)
+            self.stats.memory_hits += 1
+            return trace
+        trace = self._disk_load(key)
+        if trace is not None:
+            self.stats.disk_hits += 1
+        else:
+            self.stats.misses += 1
+            trace = run_measured(name, scale=scale, seed=seed, **overrides)
+            self._disk_store(key, trace)
+        self._insert(key, trace)
+        return trace
+
+    def put(self, key: TraceKey, trace: PacketTrace) -> None:
+        """Insert an externally produced trace (and persist it)."""
+        self._disk_store(key, trace)
+        self._insert(key, trace)
+
+    def __contains__(self, key: TraceKey) -> bool:
+        if key in self._lru:
+            return True
+        return self._disk_path(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    # -- memory layer --------------------------------------------------
+    def _insert(self, key: TraceKey, trace: PacketTrace) -> None:
+        self._lru[key] = trace
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk layer ----------------------------------------------------
+    def _disk_path(self, key: TraceKey) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        path = self.disk_dir / f"{key.digest()}.npz"
+        return path if path.exists() else None
+
+    def _disk_load(self, key: TraceKey) -> Optional[PacketTrace]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            return load_npz(path)
+        except (OSError, ValueError, KeyError):
+            # A truncated or foreign file is a miss, not an error.
+            return None
+
+    def _disk_store(self, key: TraceKey, trace: PacketTrace) -> None:
+        if self.disk_dir is None:
+            return
+        _write_entry(
+            self.disk_dir, key.digest(), trace,
+            {"name": key.name, "scale": key.scale, "seed": key.seed,
+             "overrides": dict(key.overrides)},
+        )
+        self.stats.disk_writes += 1
+
+    # -- maintenance ---------------------------------------------------
+    def clear(self, disk: bool = False) -> int:
+        """Drop the memory layer; with ``disk=True`` also delete the
+        persistent entries.  Returns the number of disk entries removed."""
+        self._lru.clear()
+        removed = 0
+        if disk and self.disk_dir is not None and self.disk_dir.exists():
+            for path in self.disk_dir.iterdir():
+                if path.suffix in (".npz", ".json") and not path.name.startswith("."):
+                    path.unlink()
+                    removed += 1
+        return removed
+
+    def disk_entries(self) -> List[dict]:
+        """Metadata of every persisted entry (for ``repro cache stats``)."""
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return []
+        entries = []
+        for meta_path in sorted(self.disk_dir.glob("*.json")):
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                continue
+            meta["digest"] = meta_path.stem
+            npz = meta_path.with_suffix(".npz")
+            meta["bytes"] = npz.stat().st_size if npz.exists() else 0
+            entries.append(meta)
+        return entries
+
+    # -- parallel production -------------------------------------------
+    def warm(
+        self,
+        specs: Iterable[Tuple],
+        jobs: int = 1,
+        load: bool = False,
+    ) -> List[WarmResult]:
+        """Produce traces for ``specs`` in parallel, through the disk cache.
+
+        Parameters
+        ----------
+        specs:
+            Iterable of ``(name, scale, seed)`` tuples or
+            ``(name, scale, seed, overrides_dict)``.
+        jobs:
+            Worker processes; 1 produces serially in-process (still
+            writing through the cache), which is also the fallback when
+            no disk layer is configured.
+        load:
+            Also pull every warmed trace into the memory layer.
+
+        Returns one :class:`WarmResult` per unique key, in spec order.
+        Workers inherit the DES's determinism, so the recorded
+        ``trace_sha256`` values are identical however the work is split.
+        """
+        keys: List[Tuple[TraceKey, dict]] = []
+        seen = set()
+        for spec in specs:
+            if len(spec) == 3:
+                name, scale, seed = spec
+                overrides: dict = {}
+            else:
+                name, scale, seed, overrides = spec
+            key = TraceKey.make(name, scale=scale, seed=seed, **overrides)
+            if key not in seen:
+                seen.add(key)
+                keys.append((key, overrides))
+
+        results: List[WarmResult] = []
+        if jobs > 1 and self.disk_dir is not None and len(keys) > 1:
+            from multiprocessing import get_context
+
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            jobs = min(jobs, len(keys))
+            args = [
+                (k.name, k.scale, k.seed, ov, k.digest(), str(self.disk_dir))
+                for k, ov in keys
+            ]
+            # fork keeps worker start cheap where available; spawn is the
+            # portable fallback and _produce_entry is import-safe either way.
+            methods = ("fork", "spawn")
+            ctx = None
+            for m in methods:
+                try:
+                    ctx = get_context(m)
+                    break
+                except ValueError:
+                    continue
+            with ctx.Pool(processes=jobs) as pool:
+                outcomes = pool.map(_produce_entry, args)
+            for (key, _ov), (digest, sha, packets, produced) in zip(keys, outcomes):
+                if produced:
+                    self.stats.disk_writes += 1
+                results.append(WarmResult(key, digest, sha, packets, produced))
+        else:
+            for key, overrides in keys:
+                cached = key in self._lru or self._disk_path(key) is not None
+                trace = self.get(key.name, scale=key.scale, seed=key.seed,
+                                 **overrides)
+                results.append(
+                    WarmResult(key, key.digest(), trace_digest(trace),
+                               len(trace), not cached)
+                )
+        if load:
+            for key, overrides in keys:
+                self.get(key.name, scale=key.scale, seed=key.seed, **overrides)
+        return results
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        where = self.disk_dir or "memory-only"
+        return (f"<TraceStore {len(self._lru)}/{self.capacity} in memory, "
+                f"{where}, {self.stats.as_dict()}>")

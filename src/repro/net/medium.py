@@ -40,7 +40,15 @@ class _Window:
 
 @dataclass
 class BusStats:
-    """Counters accumulated over a simulation run."""
+    """Counters accumulated over a simulation run.
+
+    ``busy_time`` counts time the medium carried *signal*: delivered
+    frames plus the union of post-collision jam intervals.  The
+    inter-frame gap is deliberately excluded — the IFG is enforced
+    silence, so counting it would report a saturated medium as >100%
+    utilized; ``_busy_until`` still covers it for carrier-sense
+    purposes.
+    """
 
     frames_delivered: int = 0
     bytes_delivered: int = 0
@@ -49,7 +57,8 @@ class BusStats:
     busy_time: float = 0.0
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` during which the medium carried frames."""
+        """Fraction of ``elapsed`` during which the medium carried
+        frames or jam signal."""
         return self.busy_time / elapsed if elapsed > 0 else 0.0
 
 
@@ -140,6 +149,23 @@ class EthernetBus:
             while sim.now < self._busy_until:
                 yield sim.timeout(self._busy_until - sim.now)
 
+            # Same-instant gap: the current contention window may have
+            # closed with its sole transmitter determined, while the
+            # winner's process — whose resume event can be ordered after
+            # ours at this timestamp — has not yet raised ``_busy_until``.
+            # Sensing "idle" here would let this station contend against
+            # (or, worse, transmit over) a frame that is already committed
+            # to the wire.  Yield once so the winner resumes first and
+            # raises the busy deadline, then re-sense.
+            w = self._window
+            if (
+                w is not None
+                and not w.collided
+                and sim.now >= w.start + self.contention_window
+            ):
+                yield sim.timeout(0.0)
+                continue
+
             # Start transmitting: join (or open) the contention window.
             w = self._window
             if w is None or sim.now > w.start + self.contention_window:
@@ -157,8 +183,17 @@ class EthernetBus:
                 self._window = None
 
             if w.collided:
-                # Collision: jam, back off, retry.
-                self._busy_until = max(self._busy_until, sim.now + self.jam_time)
+                # Collision: jam, back off, retry.  Count the jam signal
+                # toward busy_time — without it utilization() undercounts
+                # exactly when the medium is congested.  Colliding
+                # stations' jams overlap, so only the interval this jam
+                # extends the deadline by is added (the union, not the
+                # sum).
+                jam_end = sim.now + self.jam_time
+                jam_added = jam_end - max(self._busy_until, sim.now)
+                if jam_added > 0:
+                    self.stats.busy_time += jam_added
+                self._busy_until = max(self._busy_until, jam_end)
                 attempt += 1
                 if self.max_attempts is not None and attempt >= self.max_attempts:
                     self.stats.frames_dropped += 1

@@ -162,6 +162,10 @@ class TcpPipe:
             # Fires once enough bytes have been ACKed out of the buffer.
             self._send_waiters.append((ev, self._enqueued))
         self._wake_sender()
+        # A zero-byte message on an otherwise idle connection is already
+        # fully "received": its marker needs no data segment to satisfy
+        # it, so draining only in on_data_segment would strand it forever.
+        self._deliver_ready(self.sim.now)
         return ev
 
     def _buffer_used(self) -> int:
@@ -207,10 +211,8 @@ class TcpPipe:
             yield self.src_stack.emit(self.dst_stack.host_id, seg)
 
     # -- receiver side ---------------------------------------------------
-    def on_data_segment(self, seg: TcpSegment, now: float) -> None:
-        """Called by the destination stack when a data segment arrives."""
-        self._rcv_bytes += seg.data_len
-        # Deliver any application messages now fully received.
+    def _deliver_ready(self, now: float) -> None:
+        """Hand up every application message whose bytes are all received."""
         while self._markers and self._markers[0][0] <= self._rcv_bytes:
             _end, obj, nbytes = self._markers.popleft()
             self.mailbox.put(
@@ -222,6 +224,12 @@ class TcpPipe:
                     time=now,
                 )
             )
+
+    def on_data_segment(self, seg: TcpSegment, now: float) -> None:
+        """Called by the destination stack when a data segment arrives."""
+        self._rcv_bytes += seg.data_len
+        # Deliver any application messages now fully received.
+        self._deliver_ready(now)
         # Delayed-ACK policy.
         self._segs_since_ack += 1
         if self._segs_since_ack >= self.ack_every:

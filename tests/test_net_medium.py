@@ -179,3 +179,102 @@ def test_deterministic_given_seed():
         return times
 
     assert run_once() == run_once()
+
+
+# -- MAC correctness regressions ------------------------------------------
+
+def _overlaps(deliveries):
+    """Given (start, end, src) transmission intervals, return overlapping pairs."""
+    deliveries = sorted(deliveries)
+    return [
+        (a, b)
+        for a, b in zip(deliveries, deliveries[1:])
+        if b[0] < a[1] - 1e-15
+    ]
+
+
+def test_sensor_at_window_close_defers_instead_of_colliding(sim, bus):
+    """A station whose wake event lands exactly when another station's
+    contention window closes — ordered before the winner's resume — must
+    treat the medium as busy: the sole transmitter is already determined
+    even though it has not yet raised the busy deadline."""
+    for s in range(3):
+        bus.attach(s, lambda f, t: None)
+    deliveries = []
+    bus.add_listener(lambda f, t: deliveries.append((t - bus.tx_time(f), t, f.src)))
+
+    def boundary_sensor(sid):
+        # Scheduled before station 0 starts, waking exactly at the close
+        # of station 0's contention window.
+        yield sim.timeout(bus.contention_window)
+        yield from bus.transmit(EthernetFrame(src=sid, dst=2, payload_size=1500))
+
+    def opener(sid):
+        yield from bus.transmit(EthernetFrame(src=sid, dst=2, payload_size=1500))
+
+    sim.process(boundary_sensor(1))  # created first: earlier event sequence
+    sim.process(opener(0))
+    sim.run()
+
+    assert bus.stats.frames_delivered == 2
+    # The winner was already determined: no collision, no overlap, and
+    # the deferring station's frame follows the winner's.
+    assert bus.stats.collisions == 0
+    assert not _overlaps(deliveries)
+    assert [src for _, _, src in sorted(deliveries)] == [0, 1]
+
+
+def test_delivered_frames_never_overlap_under_contention():
+    """Property regression for the carrier-sense gap: whatever the
+    contention pattern — jittered, simultaneous, or boundary-aligned
+    starts — two delivered frames never occupy the wire at once."""
+    import random as _random
+
+    for trial in range(25):
+        sim = Simulator()
+        bus = EthernetBus(sim, seed=trial)
+        deliveries = []
+        bus.add_listener(
+            lambda f, t: deliveries.append((t - bus.tx_time(f), t, f.src))
+        )
+        n = 6
+        for s in range(n):
+            bus.attach(s, lambda f, t: None)
+        rng = _random.Random(900 + trial)
+        cw = bus.contention_window
+        aligned = [0.0, cw, cw / 2, 2 * cw, cw + bus.jam_time, bus.ifg_time]
+
+        def station(sid):
+            for _ in range(6):
+                if rng.random() < 0.5:
+                    yield sim.timeout(rng.choice(aligned))
+                else:
+                    yield sim.timeout(rng.random() * 0.002)
+                frame = EthernetFrame(
+                    src=sid, dst=(sid + 1) % n,
+                    payload_size=rng.choice([40, 600, 1500]),
+                )
+                yield from bus.transmit(frame)
+
+        for s in range(n):
+            sim.process(station(s))
+        sim.run()
+        assert len(deliveries) == n * 6
+        assert not _overlaps(deliveries), f"trial {trial}"
+
+
+def test_jam_time_counted_in_busy_time(sim, bus):
+    """Post-collision jam signal occupies the medium: utilization() must
+    not undercount congested runs (the jam is real signal, the IFG is
+    not — see BusStats)."""
+    nics = make_nics(sim, bus, 3)
+    frame = EthernetFrame(src=0, dst=2, payload_size=1000)
+    nics[0].send(EthernetFrame(src=0, dst=2, payload_size=1000))
+    nics[1].send(EthernetFrame(src=1, dst=2, payload_size=1000))
+    sim.run()
+    assert bus.stats.collisions >= 1
+    tx_total = 2 * frame.wire_bits / bus.bandwidth_bps
+    # At least one jam interval beyond the frames themselves, and no
+    # more than two jams (one per station) per collision round.
+    assert bus.stats.busy_time >= tx_total + bus.jam_time - 1e-12
+    assert bus.stats.busy_time <= tx_total + 2 * bus.stats.collisions * bus.jam_time

@@ -184,6 +184,47 @@ def test_zero_byte_message_delivered(net):
     assert first.obj == "empty" and first.nbytes == 0
 
 
+def test_zero_byte_message_delivered_on_idle_connection(net):
+    """A 0-byte message needs no data segment, so its marker must be
+    drained at send time — with no following traffic to trigger
+    on_data_segment, it would otherwise never be delivered."""
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1])
+    got = []
+
+    def receiver(sim):
+        msg = yield conn.forward.mailbox.get()
+        got.append(msg)
+
+    sim.process(receiver(sim))
+    conn.forward.send(0, obj="empty")
+    sim.run()
+    assert len(got) == 1
+    assert got[0].obj == "empty" and got[0].nbytes == 0
+    assert got[0].time == 0.0  # delivered immediately, no wire round-trip
+
+
+def test_zero_byte_message_waits_for_preceding_bytes(net):
+    """A 0-byte send behind in-flight data is a stream marker: it must
+    deliver only after every earlier byte arrives, in order."""
+    sim, bus, stacks = net
+    conn = stacks[0].connect(stacks[1])
+    order = []
+
+    def receiver(sim):
+        for _ in range(2):
+            msg = yield conn.forward.mailbox.get()
+            order.append((msg.obj, sim.now))
+
+    sim.process(receiver(sim))
+    conn.forward.send(5000, obj="data")
+    conn.forward.send(0, obj="marker")
+    sim.run()
+    assert [obj for obj, _ in order] == ["data", "marker"]
+    # the marker cannot beat the 5000 data bytes onto the wire
+    assert order[1][1] >= 5000 * 8 / bus_bandwidth(stacks)
+
+
 def test_negative_size_rejected(net):
     sim, bus, stacks = net
     conn = stacks[0].connect(stacks[1])
