@@ -4,10 +4,13 @@ Usage::
 
     python -m repro list
     python -m repro run fig7 [--scale default|full|smoke] [--seed N]
-                             [--export DIR]
+                             [--export DIR] [--faults SPEC]
     python -m repro all [--scale ...] [--seed N] [--export DIR]
     python -m repro trace 2dfft --out trace.npz [--scale ...] [--text]
+                                [--faults "loss=0.01,seed=1"]
     python -m repro cache stats|clear|warm [--jobs N] [--dir DIR]
+    python -m repro faults show "loss=0.01,stall=2:10-20:3"
+    python -m repro faults demo [--scale smoke] [--loss 0.01]
 
 ``run``/``all``/``cache`` share the persistent trace cache (default
 ``results/.trace-cache``, override with ``--cache-dir`` or the
@@ -58,11 +61,34 @@ def _run_one(exp_id: str, args) -> bool:
     return artifact.all_checks_pass
 
 
+def _parse_faults(args):
+    """Validate ``--faults`` early and install it as the process default.
+
+    Returns the parsed plan (or None), or raises SystemExit(2) with the
+    parse error on stderr.
+    """
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from .faults import FaultPlan
+
+    try:
+        plan = FaultPlan.coerce(spec)
+    except ValueError as exc:
+        print(f"bad --faults spec: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    from .harness import set_default_faults
+
+    set_default_faults(plan)
+    return plan
+
+
 def _cmd_run(args) -> int:
     if args.experiment not in ALL_RUNNERS:
         print(f"unknown experiment {args.experiment!r}; "
               f"known: {', '.join(ALL_RUNNERS)}", file=sys.stderr)
         return 2
+    _parse_faults(args)
     if not args.no_cache:
         _store(args)
     ok = _run_one(args.experiment, args)
@@ -70,6 +96,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_all(args) -> int:
+    _parse_faults(args)
     if not args.no_cache:
         _store(args)
     failures = []
@@ -129,35 +156,107 @@ def _cmd_cache_warm(args) -> int:
         print(f"unknown programs: {', '.join(unknown)}; "
               f"known: {', '.join(PROGRAMS)}", file=sys.stderr)
         return 2
-    specs = trace_specs(scale=args.scale, seeds=seeds, programs=programs)
+    plan = _parse_faults(args)
+    specs = trace_specs(scale=args.scale, seeds=seeds, programs=programs,
+                        faults=plan)
     results = store.warm(specs, jobs=args.jobs)
-    produced = sum(1 for r in results if r.produced)
+    produced = sum(1 for r in results if r.produced and r.ok)
+    failed = [r for r in results if not r.ok]
     for r in results:
-        state = "produced" if r.produced else "cached  "
-        print(f"{state}  {r.key.describe():<28} {r.packets:>8} pkts  "
-              f"sha256={r.trace_sha256[:16]}")
+        if not r.ok:
+            print(f"FAILED    {r.key.describe():<28} {r.error}")
+        else:
+            state = "produced" if r.produced else "cached  "
+            print(f"{state}  {r.key.describe():<28} {r.packets:>8} pkts  "
+                  f"sha256={r.trace_sha256[:16]}")
     print(f"warm complete: {produced} produced, "
-          f"{len(results) - produced} already cached "
+          f"{len(results) - produced - len(failed)} already cached, "
+          f"{len(failed)} failed "
           f"({args.jobs} job{'s' if args.jobs != 1 else ''}) "
           f"-> {store.disk_dir}")
+    if failed:
+        print(f"warm FAILED for: "
+              f"{', '.join(r.key.describe() for r in failed)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_trace(args) -> int:
-    from .capture import save_npz, save_text
+    from .capture import save_npz, save_text, trace_digest
     from .programs import PROGRAMS, run_measured
 
     if args.program not in PROGRAMS:
         print(f"unknown program {args.program!r}; known: {', '.join(PROGRAMS)}",
               file=sys.stderr)
         return 2
-    trace = run_measured(args.program, scale=args.scale, seed=args.seed)
+    plan = _parse_faults(args)
+    detail: dict = {}
+    trace = run_measured(args.program, scale=args.scale, seed=args.seed,
+                         faults=plan, detail=detail)
     if args.text:
         save_text(trace, args.out)
     else:
         save_npz(trace, args.out)
     print(f"{args.program}: {len(trace)} packets over {trace.duration:.1f} s "
           f"-> {args.out}")
+    print(f"sha256={trace_digest(trace)}")
+    if plan is not None:
+        drops = detail.get("drops", {})
+        dropped = ", ".join(f"{k}={v}" for k, v in sorted(drops.items()))
+        print(f"faults: {plan.describe()}")
+        print(f"drops: {dropped or 'none'}")
+        print(f"retransmissions: {detail.get('retransmitted_segments', 0)} "
+              f"segments ({trace.retransmit_share():.1%} of bytes)")
+    return 0
+
+
+# -- fault injection --------------------------------------------------
+
+
+def _cmd_faults_show(args) -> int:
+    from .faults import FaultPlan
+
+    try:
+        plan = FaultPlan.parse(args.spec)
+    except ValueError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    print(f"spec:      {plan.describe()}")
+    print("canonical:")
+    for key, value in plan.canonical().items():
+        print(f"  {key} = {value}")
+    return 0
+
+
+def _cmd_faults_demo(args) -> int:
+    from .faults import FaultPlan
+    from .programs import KERNELS, run_measured
+
+    plan = FaultPlan(loss_rate=args.loss, seed=args.seed)
+    programs = list(KERNELS) + ["airshed"]
+    print(f"running {len(programs)} programs at scale={args.scale} "
+          f"under {plan.describe()!r}")
+    failures = []
+    for name in programs:
+        detail: dict = {}
+        try:
+            trace = run_measured(name, scale=args.scale, seed=args.seed,
+                                 faults=plan, detail=detail)
+        except Exception as exc:  # noqa: BLE001 - demo reports, not crashes
+            failures.append(name)
+            print(f"  {name:<8} FAILED: {type(exc).__name__}: {exc}")
+            continue
+        drops = detail.get("drops", {})
+        print(f"  {name:<8} {len(trace):>7} pkts  "
+              f"dropped={sum(drops.values()):>4}  "
+              f"retx={detail.get('retransmitted_segments', 0):>5} segs  "
+              f"retx-share={trace.retransmit_share():6.1%}")
+    if failures:
+        print(f"did not complete under faults: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("all programs completed under faults")
     return 0
 
 
@@ -179,6 +278,9 @@ def main(argv=None) -> int:
                        help=f"persistent trace cache ({DEFAULT_CACHE_DIR})")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the persistent trace cache")
+        p.add_argument("--faults", metavar="SPEC", default=None,
+                       help='fault-plan spec, e.g. "loss=0.01,seed=1" '
+                            "(see `repro faults show`)")
 
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment")
@@ -234,7 +336,30 @@ def main(argv=None) -> int:
     p_warm.add_argument("--programs", default=None,
                         help="comma-separated program subset "
                              "(default: the experiment warm set)")
+    p_warm.add_argument("--faults", metavar="SPEC", default=None,
+                        help="warm faulted variants of the traces")
     p_warm.set_defaults(fn=_cmd_cache_warm)
+
+    p_faults = sub.add_parser(
+        "faults", help="inspect fault plans and demo fault injection"
+    )
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+
+    p_show = faults_sub.add_parser(
+        "show", help="parse a fault-plan spec and print its canonical form"
+    )
+    p_show.add_argument("spec")
+    p_show.set_defaults(fn=_cmd_faults_show)
+
+    p_demo = faults_sub.add_parser(
+        "demo", help="run every measured program under frame loss"
+    )
+    p_demo.add_argument("--scale", default="smoke",
+                        choices=["smoke", "default", "full"])
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument("--loss", type=float, default=0.01,
+                        help="frame loss probability (default: 0.01)")
+    p_demo.set_defaults(fn=_cmd_faults_demo)
 
     args = parser.parse_args(argv)
     return args.fn(args)

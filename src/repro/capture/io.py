@@ -62,9 +62,23 @@ def trace_digest(trace: PacketTrace) -> str:
 
 
 def load_npz(path: Union[str, Path]) -> PacketTrace:
-    """Load a trace written by :func:`save_npz`."""
+    """Load a trace written by :func:`save_npz`.
+
+    Files written before the ``retx`` column existed load with the
+    column zero-filled.
+    """
     with np.load(str(path)) as archive:
         data = archive["packets"]
+    if data.dtype != TRACE_DTYPE:
+        missing = set(TRACE_DTYPE.names) - set(data.dtype.names or ())
+        if missing - {"retx"}:
+            raise ValueError(
+                f"npz trace missing fields {sorted(missing)} at {path}"
+            )
+        upgraded = np.zeros(len(data), dtype=TRACE_DTYPE)
+        for name in data.dtype.names:
+            upgraded[name] = data[name]
+        data = upgraded
     return PacketTrace(np.asarray(data, dtype=TRACE_DTYPE))
 
 
@@ -76,9 +90,10 @@ def to_text(trace: PacketTrace) -> str:
     out = io.StringIO()
     for row in trace.data:
         proto = _PROTO_NAMES.get(int(row["proto"]), str(int(row["proto"])))
+        retx = " retx=1" if int(row["retx"]) else ""
         out.write(
             f"{row['time']:.6f} host{int(row['src'])} > host{int(row['dst'])}: "
-            f"{proto} {int(row['size'])} kind={int(row['kind'])}\n"
+            f"{proto} {int(row['size'])} kind={int(row['kind'])}{retx}\n"
         )
     return out.getvalue()
 
@@ -91,7 +106,16 @@ def from_text(text: str) -> PacketTrace:
         if not line or line.startswith("#"):
             continue
         try:
-            time_s, src_s, _gt, dst_s, proto_s, size_s, kind_s = line.split()
+            tokens = line.split()
+            if len(tokens) == 8:
+                (time_s, src_s, _gt, dst_s, proto_s, size_s, kind_s,
+                 retx_s) = tokens
+                if not retx_s.startswith("retx="):
+                    raise ValueError(f"unexpected trailing token {retx_s!r}")
+                retx = int(retx_s.removeprefix("retx="))
+            else:
+                time_s, src_s, _gt, dst_s, proto_s, size_s, kind_s = tokens
+                retx = 0
             time = float(time_s)
             src = int(src_s.removeprefix("host"))
             dst = int(dst_s.removeprefix("host").rstrip(":"))
@@ -100,7 +124,7 @@ def from_text(text: str) -> PacketTrace:
             kind = int(kind_s.removeprefix("kind="))
         except (ValueError, IndexError) as exc:
             raise ValueError(f"malformed trace line {lineno}: {line!r}") from exc
-        rows.append((time, size, src, dst, proto, kind))
+        rows.append((time, size, src, dst, proto, kind, retx))
     if not rows:
         return PacketTrace.empty()
     return PacketTrace.from_rows(rows)

@@ -33,6 +33,7 @@ TRACE_DTYPE = np.dtype(
         ("dst", np.int32),
         ("proto", np.uint8),
         ("kind", np.uint8),
+        ("retx", np.uint8),  # 1 = TCP retransmission (loss recovery)
     ]
 )
 
@@ -48,8 +49,13 @@ class PacketTrace:
     # -- construction -----------------------------------------------------
     @classmethod
     def from_rows(cls, rows: Iterable[Tuple]) -> "PacketTrace":
-        """Build from an iterable of (time, size, src, dst, proto, kind)."""
-        arr = np.array(list(rows), dtype=TRACE_DTYPE)
+        """Build from an iterable of (time, size, src, dst, proto, kind)
+        or (..., kind, retx) tuples; a missing retx column means no
+        retransmissions."""
+        rows = [tuple(r) for r in rows]
+        want = len(TRACE_DTYPE)
+        rows = [r + (0,) if len(r) == want - 1 else r for r in rows]
+        arr = np.array(rows, dtype=TRACE_DTYPE)
         return cls(arr)
 
     @classmethod
@@ -95,6 +101,11 @@ class PacketTrace:
     def kinds(self) -> np.ndarray:
         return self._data["kind"]
 
+    @property
+    def retransmits(self) -> np.ndarray:
+        """1 where the packet is a TCP retransmission, else 0."""
+        return self._data["retx"]
+
     # -- scalars --------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._data)
@@ -109,6 +120,15 @@ class PacketTrace:
     @property
     def total_bytes(self) -> int:
         return int(self._data["size"].sum())
+
+    def retransmit_share(self) -> float:
+        """Fraction of trace bytes carried by retransmitted segments —
+        the run summary's retransmission-traffic share."""
+        total = self._data["size"].sum()
+        if total == 0:
+            return 0.0
+        retx = self._data["size"][self._data["retx"] != 0].sum()
+        return float(retx) / float(total)
 
     # -- filters ---------------------------------------------------------------
     def _where(self, mask: np.ndarray) -> "PacketTrace":
@@ -172,20 +192,33 @@ class TraceRecorder:
 
     def __init__(self, bus: EthernetBus):
         self._rows: list = []
+        self._bus = bus
         bus.add_listener(self._on_frame)
 
     def _on_frame(self, frame: EthernetFrame, now: float) -> None:
         pdu = frame.payload
+        retx = 0
         if isinstance(pdu, TcpSegment):
             proto = PROTO_TCP
             kind = KIND_TCP_ACK if pdu.is_ack else KIND_TCP_DATA
+            if pdu.retransmit:
+                retx = 1
         elif isinstance(pdu, UdpDatagram):
             proto = PROTO_UDP
             kind = KIND_UDP
         else:
             proto = 0
             kind = KIND_OTHER
-        self._rows.append((now, frame.size, frame.src, frame.dst, proto, kind))
+        self._rows.append(
+            (now, frame.size, frame.src, frame.dst, proto, kind, retx)
+        )
+
+    @property
+    def drops(self) -> list:
+        """The medium's drop events — frames the capture never saw
+        because the network destroyed them (loss, corruption, queue
+        overflow, excessive collisions)."""
+        return list(getattr(self._bus, "drop_log", ()))
 
     def __len__(self) -> int:
         return len(self._rows)

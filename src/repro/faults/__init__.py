@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the simulated testbed.
+
+:class:`FaultPlan` declares the faults (spec grammar in
+:mod:`repro.faults.plan`); :class:`FaultInjector` evaluates them at run
+time.  Wire a plan into a run with ``run_measured(..., faults=...)``,
+``repro --faults``, or :class:`repro.fx.FxCluster(faults=...)``.
+"""
+
+from .inject import CORRUPT, LOSS, FaultInjector
+from .plan import CrashWindow, FaultPlan, StallWindow
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "StallWindow",
+    "CrashWindow",
+    "LOSS",
+    "CORRUPT",
+]

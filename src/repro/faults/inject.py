@@ -1,0 +1,71 @@
+"""FaultInjector: the runtime side of a :class:`FaultPlan`.
+
+One injector serves a whole cluster.  Each stochastic fault process
+draws from its own ``random.Random`` stream, seeded from the plan seed
+and a stream label — the streams are mutually independent, independent
+of the simulation's RNGs, and identical in every process, so fault
+outcomes depend only on (plan, wire delivery order), both of which are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector", "LOSS", "CORRUPT"]
+
+#: Frame-fate labels returned by :meth:`FaultInjector.frame_fate` and
+#: recorded as drop-event reasons.
+LOSS = "loss"
+CORRUPT = "corrupt"
+
+
+class FaultInjector:
+    """Evaluates a plan's fault processes against simulation state."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._loss_rng = random.Random(f"repro-faults:{plan.seed}:loss")
+        self._corrupt_rng = random.Random(f"repro-faults:{plan.seed}:corrupt")
+        # counters
+        self.frames_lost = 0
+        self.frames_corrupted = 0
+        self.daemon_drops = 0
+
+    # -- wire faults ---------------------------------------------------
+    def frame_fate(self, frame, now: float) -> Optional[str]:
+        """Decide a successfully transmitted frame's fate.
+
+        Returns ``None`` (delivered), :data:`LOSS` (vanishes on the
+        wire), or :data:`CORRUPT` (arrives damaged; the receiving NIC
+        discards it on CRC).  Must be called exactly once per frame that
+        wins the medium, in delivery order — the draw sequence is the
+        determinism contract.
+        """
+        plan = self.plan
+        if plan.loss_rate > 0 and self._loss_rng.random() < plan.loss_rate:
+            self.frames_lost += 1
+            return LOSS
+        if (plan.corrupt_rate > 0
+                and self._corrupt_rng.random() < plan.corrupt_rate):
+            self.frames_corrupted += 1
+            return CORRUPT
+        return None
+
+    # -- host faults ---------------------------------------------------
+    def stall_factor(self, host: int, now: float) -> float:
+        """Slowdown multiplier for compute starting on ``host`` at
+        ``now`` (1.0 outside every stall window; windows multiply when
+        they overlap)."""
+        factor = 1.0
+        for window in self.plan.stalls:
+            if window.covers(host, now):
+                factor *= window.factor
+        return factor
+
+    def crashed(self, host: int, now: float) -> bool:
+        """True while ``host``'s pvmd is inside a crash window."""
+        return any(w.covers(host, now) for w in self.plan.crashes)

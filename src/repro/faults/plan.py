@@ -1,0 +1,269 @@
+"""FaultPlan: a declarative, seedable description of injected faults.
+
+A plan composes independent fault processes over the simulated testbed:
+
+* **frame loss** — each successfully transmitted frame is discarded on
+  the wire with probability ``loss_rate`` (the receiver never sees it);
+* **CRC corruption** — like loss, but counted separately: the frame
+  arrives damaged and the receiving NIC discards it on checksum;
+* **queue overflow** — NIC transmit queues hold at most
+  ``nic_queue_limit`` frames; further sends are dropped at the adapter;
+* **excessive collisions** — the MAC gives up after ``max_attempts``
+  transmission attempts (real Ethernet: 16) instead of retrying forever;
+* **host stalls** — during a window, one host's (or every host's)
+  compute phases run ``factor`` times slower (an overloaded or
+  descheduled workstation);
+* **pvmd crashes** — during a window, one host's PVM daemon is down:
+  it emits no keepalives and silently drops everything routed to it.
+
+Spec grammar
+------------
+Plans round-trip through a compact spec string used by ``--faults``::
+
+    loss=0.01,corrupt=0.001,queue=32,attempts=16,seed=7,
+    stall=2:0.5-1.5:4,crash=1:2.0-3.0
+
+Fields are comma-separated ``key=value`` pairs; ``stall=`` and
+``crash=`` may repeat.  Windows are ``HOST:T0-T1`` (``crash``) or
+``HOST:T0-T1:FACTOR`` (``stall``); ``HOST`` may be ``*`` for "every
+host" in a stall.  ``attempts=0`` restores the retry-forever MAC.
+
+Determinism
+-----------
+Every stochastic choice a plan makes is drawn from
+:class:`~repro.faults.inject.FaultInjector` streams seeded from
+``seed`` alone — independent of the simulation's own RNGs and of
+process or thread identity — so the same (program seed, plan) pair
+produces byte-identical traces on every run and in every
+``cache warm`` worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+__all__ = ["FaultPlan", "StallWindow", "CrashWindow"]
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """Compute on ``host`` (None = every host) runs ``factor``x slower
+    during [start, end)."""
+
+    host: Optional[int]
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self):
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"stall window must satisfy 0 <= start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+        if self.factor < 1.0:
+            raise ValueError(f"stall factor must be >= 1, got {self.factor}")
+
+    def covers(self, host: int, now: float) -> bool:
+        return (self.host is None or self.host == host) and (
+            self.start <= now < self.end
+        )
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """The pvmd on ``host`` is down during [start, end)."""
+
+    host: int
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.host < 0:
+            raise ValueError(f"crash host must be >= 0, got {self.host}")
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"crash window must satisfy 0 <= start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+
+    def covers(self, host: int, now: float) -> bool:
+        return self.host == host and self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One immutable fault configuration (see module docstring)."""
+
+    seed: int = 0
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    nic_queue_limit: Optional[int] = None
+    #: MAC attempts before an excessive-collision drop.  The faulted
+    #: default is real Ethernet's 16; ``None`` retries forever (the
+    #: fault-free bus default).
+    max_attempts: Optional[int] = 16
+    stalls: Tuple[StallWindow, ...] = field(default_factory=tuple)
+    crashes: Tuple[CrashWindow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        for name, rate in (("loss", self.loss_rate),
+                           ("corrupt", self.corrupt_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(
+                    f"{name} rate must be in [0, 1), got {rate}"
+                )
+        if self.nic_queue_limit is not None and self.nic_queue_limit < 1:
+            raise ValueError(
+                f"nic_queue_limit must be >= 1, got {self.nic_queue_limit}"
+            )
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1 or None, got {self.max_attempts}"
+            )
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from the spec grammar (module docstring)."""
+        kwargs: dict = {}
+        stalls = []
+        crashes = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"fault spec field {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "loss":
+                    kwargs["loss_rate"] = float(value)
+                elif key == "corrupt":
+                    kwargs["corrupt_rate"] = float(value)
+                elif key == "queue":
+                    kwargs["nic_queue_limit"] = int(value)
+                elif key == "attempts":
+                    n = int(value)
+                    kwargs["max_attempts"] = None if n == 0 else n
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "stall":
+                    stalls.append(cls._parse_stall(value))
+                elif key == "crash":
+                    crashes.append(cls._parse_crash(value))
+                else:
+                    raise ValueError(f"unknown fault spec key {key!r}")
+            except ValueError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                raise ValueError(f"bad fault spec field {part!r}") from exc
+        return cls(stalls=tuple(stalls), crashes=tuple(crashes), **kwargs)
+
+    @staticmethod
+    def _parse_stall(value: str) -> StallWindow:
+        pieces = value.split(":")
+        if len(pieces) != 3:
+            raise ValueError(
+                f"stall window must be HOST:T0-T1:FACTOR, got {value!r}"
+            )
+        host_s, window, factor_s = pieces
+        host = None if host_s == "*" else int(host_s)
+        t0_s, _, t1_s = window.partition("-")
+        if not _:
+            raise ValueError(f"stall window {window!r} must be T0-T1")
+        return StallWindow(host=host, start=float(t0_s), end=float(t1_s),
+                           factor=float(factor_s))
+
+    @staticmethod
+    def _parse_crash(value: str) -> CrashWindow:
+        pieces = value.split(":")
+        if len(pieces) != 2:
+            raise ValueError(f"crash window must be HOST:T0-T1, got {value!r}")
+        host_s, window = pieces
+        t0_s, _, t1_s = window.partition("-")
+        if not _:
+            raise ValueError(f"crash window {window!r} must be T0-T1")
+        return CrashWindow(host=int(host_s), start=float(t0_s),
+                           end=float(t1_s))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`canonical`."""
+        attempts = data.get("attempts", 16)
+        return cls(
+            seed=int(data.get("seed", 0)),
+            loss_rate=float(data.get("loss", 0.0)),
+            corrupt_rate=float(data.get("corrupt", 0.0)),
+            nic_queue_limit=(None if data.get("queue") is None
+                             else int(data["queue"])),
+            max_attempts=None if attempts is None else int(attempts),
+            stalls=tuple(
+                StallWindow(host=None if h == "*" else int(h),
+                            start=float(s), end=float(e), factor=float(f))
+                for h, s, e, f in data.get("stalls", ())
+            ),
+            crashes=tuple(
+                CrashWindow(host=int(h), start=float(s), end=float(e))
+                for h, s, e in data.get("crashes", ())
+            ),
+        )
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, str, dict, "FaultPlan"]
+    ) -> Optional["FaultPlan"]:
+        """Accept the forms a plan arrives in (CLI string, cache-key
+        dict, plan object); None stays None."""
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TypeError(f"cannot build a FaultPlan from {type(value).__name__}")
+
+    # -- serialization -------------------------------------------------
+    def canonical(self) -> dict:
+        """A JSON-stable dict: equal plans canonicalize equally, so the
+        trace-cache key is independent of how the plan was spelled."""
+        return {
+            "attempts": self.max_attempts,
+            "corrupt": self.corrupt_rate,
+            "crashes": sorted(
+                [c.host, c.start, c.end] for c in self.crashes
+            ),
+            "loss": self.loss_rate,
+            "queue": self.nic_queue_limit,
+            "seed": self.seed,
+            "stalls": sorted(
+                (["*" if s.host is None else s.host, s.start, s.end, s.factor]
+                 for s in self.stalls),
+                key=lambda row: (str(row[0]), row[1:]),
+            ),
+        }
+
+    def describe(self) -> str:
+        """Spec-grammar rendering (parses back to an equal plan)."""
+        parts = []
+        if self.loss_rate:
+            parts.append(f"loss={self.loss_rate:g}")
+        if self.corrupt_rate:
+            parts.append(f"corrupt={self.corrupt_rate:g}")
+        if self.nic_queue_limit is not None:
+            parts.append(f"queue={self.nic_queue_limit}")
+        parts.append(
+            f"attempts={0 if self.max_attempts is None else self.max_attempts}"
+        )
+        for s in self.stalls:
+            host = "*" if s.host is None else s.host
+            parts.append(f"stall={host}:{s.start:g}-{s.end:g}:{s.factor:g}")
+        for c in self.crashes:
+            parts.append(f"crash={c.host}:{c.start:g}-{c.end:g}")
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = ["WorkModel"]
 
@@ -62,9 +62,19 @@ class WorkModel:
         self.deschedule_mean = deschedule_mean
         self.rng = rng if rng is not None else random.Random(0)
         self.deschedules = 0
+        #: Optional fault hook: maps a start time to a slowdown
+        #: multiplier (see :class:`repro.faults.FaultInjector`).  The
+        #: runtime installs one per rank when a plan has stall windows.
+        self.stall_fn: Optional[Callable[[float], float]] = None
+        self.stalled_phases = 0
 
-    def duration(self, work: float) -> float:
-        """Seconds to complete ``work`` units, noise included."""
+    def duration(self, work: float, now: Optional[float] = None) -> float:
+        """Seconds to complete ``work`` units, noise included.
+
+        ``now`` (the phase's simulated start time) only matters when a
+        fault plan installed :attr:`stall_fn`: phases starting inside a
+        stall window run that window's factor slower.
+        """
         if work < 0:
             raise ValueError(f"negative work: {work}")
         if work == 0:
@@ -77,6 +87,11 @@ class WorkModel:
             if self.rng.random() < prob:
                 self.deschedules += 1
                 base += self.rng.expovariate(1.0 / self.deschedule_mean)
+        if self.stall_fn is not None and now is not None:
+            factor = self.stall_fn(now)
+            if factor != 1.0:
+                self.stalled_phases += 1
+                base *= factor
         return base
 
     def clone(self, seed: int) -> "WorkModel":

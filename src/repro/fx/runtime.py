@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from ..capture import PacketTrace, TraceRecorder
 from ..des import Event, Simulator
+from ..faults import FaultInjector, FaultPlan
 from ..net import EthernetBus, Nic, SwitchedFabric
 from ..pvm import PvmMessage, Route, VirtualMachine
 from ..transport import HostStack
@@ -46,6 +47,11 @@ class FxCluster:
         PVM daemon chatter period (0 disables).
     tcp_kwargs:
         Options forwarded to every TCP pipe (window, sndbuf, mss, ...).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or spec string /
+        canonical dict).  Wires the plan's injector into the bus, NICs,
+        daemons, and compute model, and enables TCP loss recovery unless
+        ``tcp_kwargs`` explicitly overrides ``loss_recovery``.
     """
 
     def __init__(
@@ -56,19 +62,42 @@ class FxCluster:
         medium: str = "ethernet",
         keepalive_interval: float = 0.0,
         tcp_kwargs: Optional[dict] = None,
+        faults=None,
     ):
         if n_machines < 2:
             raise ValueError("a cluster needs at least 2 machines")
         self.seed = seed
         self.sim = Simulator()
+        self.faults: Optional[FaultPlan] = FaultPlan.coerce(faults)
+        self.fault_injector: Optional[FaultInjector] = None
+        if self.faults is not None:
+            if medium != "ethernet":
+                raise ValueError(
+                    "fault injection currently targets the shared-Ethernet "
+                    f"medium, not {medium!r}"
+                )
+            self.fault_injector = FaultInjector(self.faults)
+            tcp_kwargs = dict(tcp_kwargs or {})
+            tcp_kwargs.setdefault("loss_recovery", True)
         if medium == "ethernet":
-            self.bus = EthernetBus(self.sim, bandwidth_bps=bandwidth_bps, seed=seed)
+            self.bus = EthernetBus(
+                self.sim, bandwidth_bps=bandwidth_bps, seed=seed,
+                max_attempts=(self.faults.max_attempts
+                              if self.faults is not None else None),
+                fault_injector=self.fault_injector,
+            )
         elif medium == "switched":
             self.bus = SwitchedFabric(self.sim, link_bps=bandwidth_bps, seed=seed)
         else:
             raise ValueError(f"unknown medium {medium!r}")
+        queue_limit = (self.faults.nic_queue_limit
+                       if self.faults is not None else None)
         self.stacks: List[HostStack] = [
-            HostStack(self.sim, Nic(self.sim, self.bus, i), i, name=f"alpha{i}")
+            HostStack(
+                self.sim,
+                Nic(self.sim, self.bus, i, queue_limit=queue_limit),
+                i, name=f"alpha{i}",
+            )
             for i in range(n_machines)
         ]
         self.recorder = TraceRecorder(self.bus)
@@ -77,10 +106,39 @@ class FxCluster:
             self.stacks,
             keepalive_interval=keepalive_interval,
             tcp_kwargs=tcp_kwargs,
+            fault_injector=self.fault_injector,
         )
 
     def trace(self) -> PacketTrace:
         return self.recorder.trace()
+
+    def drop_events(self) -> List:
+        """All frames the network destroyed, in time order."""
+        return list(getattr(self.bus, "drop_log", ()))
+
+    def fault_report(self) -> dict:
+        """Counters for the run summary: drops by reason, retransmission
+        traffic, daemon drops, and keepalive gaps."""
+        drops: dict = {}
+        for event in self.drop_events():
+            drops[event.reason] = drops.get(event.reason, 0) + 1
+        pipes = [p for conn in self.vm._connections.values()
+                 for p in (conn.forward, conn.reverse)]
+        gaps = [gap for m in self.vm.machines
+                for gap in getattr(m.daemon, "keepalive_gaps", ())]
+        return {
+            "faults": self.faults.describe() if self.faults else None,
+            "drops": drops,
+            "frames_dropped": sum(drops.values()),
+            "retransmitted_segments": sum(p.retransmits for p in pipes),
+            "retransmitted_bytes": sum(p.bytes_retransmitted for p in pipes),
+            "rto_timeouts": sum(p.timeouts for p in pipes),
+            "fast_retransmits": sum(p.fast_retransmits for p in pipes),
+            "daemon_drops": sum(
+                getattr(m.daemon, "drops", 0) for m in self.vm.machines
+            ),
+            "keepalive_gaps": len(gaps),
+        }
 
 
 class FxContext:
@@ -105,7 +163,7 @@ class FxContext:
         :attr:`FxRuntime.phase_log` — ground truth for validating the
         burst/idle structure recovered from packet traces.
         """
-        duration = self.work_model.duration(work)
+        duration = self.work_model.duration(work, now=self.sim.now)
         if duration > 0:
             self.runtime.phase_log.append(
                 (self.rank, self.sim.now, self.sim.now + duration)
@@ -199,6 +257,13 @@ class FxRuntime:
             FxContext(self, r, self.tasks[r], work_model.clone(cluster.seed * 1000 + r))
             for r in range(nprocs)
         ]
+        injector = getattr(cluster, "fault_injector", None)
+        if injector is not None and injector.plan.stalls:
+            for rank, ctx in enumerate(self.contexts):
+                host = machines[rank]
+                ctx.work_model.stall_fn = (
+                    lambda now, _h=host: injector.stall_factor(_h, now)
+                )
         self._barrier_waiters: List[Event] = []
 
     def _barrier_arrive(self, rank: int) -> Event:

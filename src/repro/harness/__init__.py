@@ -9,7 +9,9 @@ from .runner import (
     REPRESENTATIVE_CONNECTIONS,
     clear_trace_cache,
     configure_trace_store,
+    default_faults,
     get_trace,
+    set_default_faults,
     trace_store,
 )
 from .store import TRACE_SCHEMA_VERSION, CacheStats, TraceKey, TraceStore
@@ -28,6 +30,8 @@ __all__ = [
     "clear_trace_cache",
     "trace_store",
     "configure_trace_store",
+    "set_default_faults",
+    "default_faults",
     "TraceStore",
     "TraceKey",
     "CacheStats",

@@ -60,15 +60,22 @@ __all__ = ["Artifact", "EXPERIMENTS", "TRACE_PROGRAMS", "run_experiment",
 TRACE_PROGRAMS: Tuple[str, ...] = KERNELS + ("airshed",)
 
 
-def trace_specs(scale: str = "default", seeds=(0,), programs=None):
-    """(name, scale, seed) production jobs covering the experiments.
+def trace_specs(scale: str = "default", seeds=(0,), programs=None,
+                faults=None):
+    """(name, scale, seed[, overrides]) production jobs covering the
+    experiments.
 
     The unit of parallelism for :meth:`TraceStore.warm`: every
     trace-based experiment at ``scale``/``seeds`` is served from cache
-    once these jobs have run.
+    once these jobs have run.  ``faults`` (a plan spec) rides along as
+    an override, so warmed faulted traces key — and digest — exactly
+    like the ones the experiments will request.
     """
     names = TRACE_PROGRAMS if programs is None else tuple(programs)
-    return [(name, scale, seed) for seed in seeds for name in names]
+    if faults is None:
+        return [(name, scale, seed) for seed in seeds for name in names]
+    return [(name, scale, seed, {"faults": faults})
+            for seed in seeds for name in names]
 
 
 @dataclass

@@ -60,6 +60,7 @@ def replicate(
     seeds: Sequence[int] = (0, 1, 2),
     scale: str = "smoke",
     jobs: int = 1,
+    faults=None,
 ) -> Replication:
     """Run ``runner(scale=..., seed=...)`` per seed and aggregate.
 
@@ -71,15 +72,30 @@ def replicate(
     per-seed analyses run serially.  The full cross-process speedup
     needs the store's disk layer (see ``repro cache``); without it the
     warm degrades to serial in-process production.
+
+    ``faults`` (a fault-plan spec) replicates the experiment on a
+    degraded network: it is installed as the process-wide default for
+    the duration of the run (and restored after), so warming and the
+    per-seed analyses see the same faulted traces.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    if jobs > 1:
-        from .experiments import trace_specs
-        from .runner import trace_store
+    from .runner import set_default_faults
 
-        trace_store().warm(trace_specs(scale=scale, seeds=seeds), jobs=jobs)
-    artifacts = [runner(scale=scale, seed=s) for s in seeds]
+    previous = set_default_faults(faults) if faults is not None else None
+    try:
+        if jobs > 1:
+            from .experiments import trace_specs
+            from .runner import trace_store
+
+            trace_store().warm(
+                trace_specs(scale=scale, seeds=seeds, faults=faults),
+                jobs=jobs,
+            )
+        artifacts = [runner(scale=scale, seed=s) for s in seeds]
+    finally:
+        if faults is not None:
+            set_default_faults(previous)
     rep = Replication(exp_id=artifacts[0].exp_id, seeds=list(seeds))
 
     metric_names = set(artifacts[0].metrics)

@@ -21,6 +21,8 @@ __all__ = [
     "clear_trace_cache",
     "trace_store",
     "configure_trace_store",
+    "set_default_faults",
+    "default_faults",
     "REPRESENTATIVE_CONNECTIONS",
 ]
 
@@ -36,6 +38,29 @@ REPRESENTATIVE_CONNECTIONS: Dict[str, Tuple[int, int]] = {
 }
 
 _STORE: TraceStore = TraceStore.from_env()
+
+#: Fault plan injected into every :func:`get_trace` that does not pass
+#: its own ``faults`` override (set by ``repro --faults``).
+_DEFAULT_FAULTS = None
+
+
+def set_default_faults(faults):
+    """Install a process-wide fault plan for trace production.
+
+    Every subsequent :func:`get_trace` call without an explicit
+    ``faults`` override runs under this plan (and keys the cache on it).
+    Pass ``None`` to clear.  Returns the previous default so callers can
+    restore it.
+    """
+    global _DEFAULT_FAULTS
+    previous = _DEFAULT_FAULTS
+    _DEFAULT_FAULTS = faults
+    return previous
+
+
+def default_faults():
+    """The process-wide fault plan, or None."""
+    return _DEFAULT_FAULTS
 
 
 def trace_store() -> TraceStore:
@@ -64,11 +89,15 @@ def get_trace(name: str, scale: str = "default", seed: int = 0,
               **overrides) -> PacketTrace:
     """The measured trace of one program, cached across experiments.
 
-    ``overrides`` (iterations, nprocs, route, ``program_kwargs``,
-    ``cluster_kwargs``, ...) are forwarded to
+    ``overrides`` (iterations, nprocs, route, ``faults``,
+    ``program_kwargs``, ``cluster_kwargs``, ...) are forwarded to
     :func:`repro.programs.run_measured` and participate in the cache key,
-    so ablation variants are cached alongside the standard runs.
+    so ablation variants are cached alongside the standard runs.  When a
+    process-wide fault plan is set (:func:`set_default_faults`) it
+    applies to every call without its own ``faults`` override.
     """
+    if _DEFAULT_FAULTS is not None and "faults" not in overrides:
+        overrides["faults"] = _DEFAULT_FAULTS
     return _STORE.get(name, scale=scale, seed=seed, **overrides)
 
 

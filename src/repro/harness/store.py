@@ -38,12 +38,14 @@ import enum
 import hashlib
 import json
 import os
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..capture import PacketTrace, load_npz, save_npz_atomic, trace_digest
+from ..faults import FaultPlan
 from ..programs import run_measured
 
 __all__ = [
@@ -56,8 +58,10 @@ __all__ = [
 
 #: Bump when simulation semantics change: any MAC/transport/work-model
 #: fix invalidates every cached trace.  Version 2 = post carrier-sense /
-#: busy-time / zero-byte-send fixes.
-TRACE_SCHEMA_VERSION = 2
+#: busy-time / zero-byte-send fixes.  Version 3 = fault injection: the
+#: trace dtype gained the ``retx`` column and fault plans join the key
+#: (fault-free simulation dynamics are unchanged).
+TRACE_SCHEMA_VERSION = 3
 
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", ".trace-cache")
@@ -71,6 +75,8 @@ def _canonical(value):
     """Reduce override values to a JSON-stable form for digesting."""
     if isinstance(value, enum.Enum):
         return [type(value).__name__, value.value]
+    if isinstance(value, FaultPlan):
+        return _canonical(value.canonical())
     if isinstance(value, dict):
         return {str(k): _canonical(v) for k, v in sorted(value.items())}
     if isinstance(value, (list, tuple)):
@@ -90,6 +96,15 @@ class TraceKey:
     @classmethod
     def make(cls, name: str, scale: str = "default", seed: int = 0,
              **overrides) -> "TraceKey":
+        # A fault plan keys on its canonical form, so an equal plan
+        # spelled as a spec string, dict, or FaultPlan digests equally
+        # (and faults=None digests like no faults at all).
+        if "faults" in overrides:
+            plan = FaultPlan.coerce(overrides["faults"])
+            if plan is None:
+                del overrides["faults"]
+            else:
+                overrides["faults"] = plan.canonical()
         frozen = tuple(
             (k, json.dumps(_canonical(v), sort_keys=True))
             for k, v in sorted(overrides.items())
@@ -133,6 +148,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     disk_writes: int = 0
+    quarantined: int = 0
 
     @property
     def requests(self) -> int:
@@ -150,6 +166,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "disk_writes": self.disk_writes,
+            "quarantined": self.quarantined,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -163,25 +180,34 @@ class WarmResult:
     trace_sha256: str
     packets: int
     produced: bool  # False when the entry was already cached
+    error: Optional[str] = None  # production failure, if any
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 def _produce_entry(args):
     """Pool worker: produce one trace and write it through the disk cache.
 
     Module-level so it pickles under the ``spawn`` start method.  Returns
-    (cache digest, trace sha256, packet count, produced?).
+    (cache digest, trace sha256, packet count, produced?, error).  A
+    failing trace reports its error instead of poisoning the whole pool.
     """
     name, scale, seed, override_kwargs, cache_digest, cache_dir = args
     directory = Path(cache_dir)
     npz = directory / f"{cache_digest}.npz"
-    if npz.exists():
-        trace = load_npz(npz)
-        return cache_digest, trace_digest(trace), len(trace), False
-    trace = run_measured(name, scale=scale, seed=seed, **override_kwargs)
-    sha = _write_entry(directory, cache_digest, trace,
-                       {"name": name, "scale": scale, "seed": seed,
-                        "overrides": override_kwargs})
-    return cache_digest, sha, len(trace), True
+    try:
+        if npz.exists():
+            trace = load_npz(npz)
+            return cache_digest, trace_digest(trace), len(trace), False, None
+        trace = run_measured(name, scale=scale, seed=seed, **override_kwargs)
+        sha = _write_entry(directory, cache_digest, trace,
+                           {"name": name, "scale": scale, "seed": seed,
+                            "overrides": override_kwargs})
+        return cache_digest, sha, len(trace), True, None
+    except Exception as exc:
+        return cache_digest, "", 0, False, f"{type(exc).__name__}: {exc}"
 
 
 def _write_entry(directory: Path, digest: str, trace: PacketTrace,
@@ -287,9 +313,26 @@ class TraceStore:
             return None
         try:
             return load_npz(path)
-        except (OSError, ValueError, KeyError):
-            # A truncated or foreign file is a miss, not an error.
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # A truncated or foreign file is a miss — quarantine it so
+            # the fresh entry we are about to produce can land, and so
+            # the corruption is visible in ``cache stats`` instead of
+            # silently costing a re-simulation every run.
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.rename(path.with_name(path.name + ".corrupt"))
+            self.stats.quarantined += 1
+        except OSError:  # pragma: no cover - already renamed or gone
+            pass
+
+    def quarantined_entries(self) -> List[Path]:
+        """Cache files set aside as unreadable (``*.corrupt``)."""
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return []
+        return sorted(self.disk_dir.glob("*.corrupt"))
 
     def _disk_store(self, key: TraceKey, trace: PacketTrace) -> None:
         if self.disk_dir is None:
@@ -309,7 +352,8 @@ class TraceStore:
         removed = 0
         if disk and self.disk_dir is not None and self.disk_dir.exists():
             for path in self.disk_dir.iterdir():
-                if path.suffix in (".npz", ".json") and not path.name.startswith("."):
+                if (path.suffix in (".npz", ".json", ".corrupt")
+                        and not path.name.startswith(".")):
                     path.unlink()
                     removed += 1
         return removed
@@ -390,22 +434,34 @@ class TraceStore:
                     continue
             with ctx.Pool(processes=jobs) as pool:
                 outcomes = pool.map(_produce_entry, args)
-            for (key, _ov), (digest, sha, packets, produced) in zip(keys, outcomes):
+            for (key, _ov), (digest, sha, packets, produced, error) in zip(
+                    keys, outcomes):
                 if produced:
                     self.stats.disk_writes += 1
-                results.append(WarmResult(key, digest, sha, packets, produced))
+                results.append(
+                    WarmResult(key, digest, sha, packets, produced, error)
+                )
         else:
             for key, overrides in keys:
                 cached = key in self._lru or self._disk_path(key) is not None
-                trace = self.get(key.name, scale=key.scale, seed=key.seed,
-                                 **overrides)
+                try:
+                    trace = self.get(key.name, scale=key.scale,
+                                     seed=key.seed, **overrides)
+                except Exception as exc:
+                    results.append(
+                        WarmResult(key, key.digest(), "", 0, False,
+                                   f"{type(exc).__name__}: {exc}")
+                    )
+                    continue
                 results.append(
                     WarmResult(key, key.digest(), trace_digest(trace),
                                len(trace), not cached)
                 )
         if load:
-            for key, overrides in keys:
-                self.get(key.name, scale=key.scale, seed=key.seed, **overrides)
+            for (key, overrides), result in zip(keys, results):
+                if result.ok:
+                    self.get(key.name, scale=key.scale, seed=key.seed,
+                             **overrides)
         return results
 
     def __repr__(self):  # pragma: no cover - cosmetic

@@ -11,7 +11,7 @@ from .frame import (
     MIN_MEASURED_SIZE,
     EthernetFrame,
 )
-from .medium import BusStats, EthernetBus
+from .medium import BusStats, DropEvent, EthernetBus
 from .switched import Reservation, SwitchedFabric
 from .nic import Nic, NicStats
 
@@ -19,6 +19,7 @@ __all__ = [
     "EthernetFrame",
     "EthernetBus",
     "BusStats",
+    "DropEvent",
     "SwitchedFabric",
     "Reservation",
     "Nic",

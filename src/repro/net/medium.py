@@ -24,7 +24,24 @@ from typing import Callable, Dict, List, Optional
 from ..des import Simulator
 from .frame import BROADCAST, EthernetFrame
 
-__all__ = ["EthernetBus", "BusStats"]
+__all__ = ["EthernetBus", "BusStats", "DropEvent"]
+
+
+@dataclass(frozen=True)
+class DropEvent:
+    """One frame that the network destroyed instead of delivering.
+
+    ``reason`` is ``"excess-collisions"``, ``"queue-overflow"``,
+    ``"loss"``, or ``"corrupt"``.  Every drop anywhere in the simulated
+    network lands in the medium's ``drop_log``, so a trace consumer can
+    account for vanished frames alongside the delivered ones.
+    """
+
+    time: float
+    reason: str
+    src: int
+    dst: int
+    size: int
 
 
 class _Window:
@@ -86,6 +103,9 @@ class EthernetBus:
         down to the MAC.  Pass an integer to study drops.
     seed:
         Seed for the backoff RNG — simulations are exactly repeatable.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector`; consulted once
+        per successfully transmitted frame to decide loss/corruption.
     """
 
     def __init__(
@@ -98,6 +118,7 @@ class EthernetBus:
         jam_time: float = 4.8e-6,
         max_attempts: Optional[int] = None,
         seed: int = 0,
+        fault_injector=None,
     ):
         self.sim = sim
         self.bandwidth_bps = float(bandwidth_bps)
@@ -107,7 +128,10 @@ class EthernetBus:
         self.jam_time = jam_time
         self.max_attempts = max_attempts
         self.rng = random.Random(seed)
+        self.fault_injector = fault_injector
         self.stats = BusStats()
+        #: Every drop anywhere on this network, in time order.
+        self.drop_log: List[DropEvent] = []
 
         self._busy_until: float = 0.0
         self._window: Optional[_Window] = None
@@ -124,6 +148,13 @@ class EthernetBus:
     def add_listener(self, listener: Callable[[EthernetFrame, float], None]):
         """Attach a promiscuous listener that sees every delivered frame."""
         self._listeners.append(listener)
+
+    def record_drop(self, reason: str, frame: EthernetFrame) -> None:
+        """Log a destroyed frame (callers keep their own counters)."""
+        self.drop_log.append(
+            DropEvent(time=self.sim.now, reason=reason,
+                      src=frame.src, dst=frame.dst, size=frame.size)
+        )
 
     @property
     def capacity_bytes_per_s(self) -> float:
@@ -197,6 +228,7 @@ class EthernetBus:
                 attempt += 1
                 if self.max_attempts is not None and attempt >= self.max_attempts:
                     self.stats.frames_dropped += 1
+                    self.record_drop("excess-collisions", frame)
                     return False
                 backoff = self.rng.randrange(0, 1 << min(attempt, 10))
                 yield sim.timeout(self.jam_time + backoff * self.slot_time)
@@ -207,6 +239,14 @@ class EthernetBus:
             self._busy_until = max(self._busy_until, sim.now + tx_time + self.ifg_time)
             yield sim.timeout(tx_time)
             self.stats.busy_time += tx_time
+            # Wire faults: a lost or corrupted frame occupied the medium
+            # (and counts as sent by the NIC) but is never delivered.
+            if self.fault_injector is not None:
+                fate = self.fault_injector.frame_fate(frame, sim.now)
+                if fate is not None:
+                    self.stats.frames_dropped += 1
+                    self.record_drop(fate, frame)
+                    return True
             self._deliver(frame)
             return True
 

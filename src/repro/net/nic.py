@@ -39,12 +39,21 @@ class Nic:
         The shared Ethernet.
     station_id:
         This station's address on the bus.
+    queue_limit:
+        Finite transmit-queue depth; a send arriving while the queue
+        holds this many frames is dropped at the adapter (counted in
+        ``stats.frames_dropped`` and the medium's drop log).  ``None``
+        (the default) queues without bound.
     """
 
-    def __init__(self, sim: Simulator, bus: EthernetBus, station_id: int):
+    def __init__(self, sim: Simulator, bus: EthernetBus, station_id: int,
+                 queue_limit: Optional[int] = None):
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         self.sim = sim
         self.bus = bus
         self.station_id = station_id
+        self.queue_limit = queue_limit
         self.stats = NicStats()
         self._queue: Store = Store(sim)
         self._rx_handler: Optional[Callable[[EthernetFrame, float], None]] = None
@@ -66,6 +75,14 @@ class Nic:
                 f"frame src {frame.src} does not match station {self.station_id}"
             )
         done = self.sim.event()
+        if (self.queue_limit is not None
+                and len(self._queue) >= self.queue_limit):
+            self.stats.frames_dropped += 1
+            record = getattr(self.bus, "record_drop", None)
+            if record is not None:
+                record("queue-overflow", frame)
+            done.succeed(False)
+            return done
         self._queue.put((frame, done))
         depth = len(self._queue)
         if depth > self.stats.max_queue_depth:

@@ -24,7 +24,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..des import Simulator, Store
 from .frame import BROADCAST, EthernetFrame
-from .medium import BusStats
+from .medium import BusStats, DropEvent
 
 __all__ = ["SwitchedFabric", "Reservation"]
 
@@ -143,10 +143,18 @@ class SwitchedFabric:
         self.link_bps = float(link_bps)
         self.switch_latency = switch_latency
         self.stats = BusStats()
+        self.drop_log: List[DropEvent] = []
         self._stations: Dict[int, Callable[[EthernetFrame, float], None]] = {}
         self._listeners: List[Callable[[EthernetFrame, float], None]] = []
         self._ports: Dict[int, _OutputPort] = {}
         self._reservations: Dict[Tuple[int, int], Reservation] = {}
+
+    def record_drop(self, reason: str, frame: EthernetFrame) -> None:
+        """Log a destroyed frame (same contract as the shared bus)."""
+        self.drop_log.append(
+            DropEvent(time=self.sim.now, reason=reason,
+                      src=frame.src, dst=frame.dst, size=frame.size)
+        )
 
     # -- interface shared with EthernetBus ---------------------------------
     @property
@@ -186,6 +194,7 @@ class SwitchedFabric:
             port = self._ports.get(frame.dst)
             if port is None:
                 self.stats.frames_dropped += 1
+                self.record_drop("no-port", frame)
                 return False
             port.enqueue(frame)
         return True

@@ -53,6 +53,8 @@ def run_measured(
     route: Route = Route.DIRECT,
     program_kwargs: Optional[dict] = None,
     cluster_kwargs: Optional[dict] = None,
+    faults=None,
+    detail: Optional[dict] = None,
 ) -> PacketTrace:
     """Reproduce one of the paper's measurement runs.
 
@@ -70,6 +72,15 @@ def run_measured(
     cluster_kwargs:
         Extra :class:`FxCluster` options (``bandwidth_bps``,
         ``keepalive_interval``, ``tcp_kwargs``, ...) for ablations.
+    faults:
+        Optional fault plan (spec string, canonical dict, or
+        :class:`~repro.faults.FaultPlan`) injected into the testbed;
+        enables TCP loss recovery.
+    detail:
+        Pass a dict to receive the run summary —
+        :meth:`FxCluster.fault_report` plus ``retransmit_share`` — in
+        addition to the trace (it does not affect the trace bytes or
+        the cache key).
     """
     if iterations is None:
         try:
@@ -80,12 +91,17 @@ def run_measured(
                 f"known: {sorted(ITERATIONS.get(name, {}))}"
             ) from None
     program = make_program(name, **(program_kwargs or {}))
-    cluster = FxCluster(n_machines=nprocs + 1, seed=seed,
+    cluster = FxCluster(n_machines=nprocs + 1, seed=seed, faults=faults,
                         **(cluster_kwargs or {}))
     runtime = FxRuntime(
         cluster, nprocs, work_model_for(name, seed=seed), route=route
     )
-    return runtime.execute(program, iterations)
+    trace = runtime.execute(program, iterations)
+    if detail is not None:
+        detail.update(cluster.fault_report())
+        detail["packets"] = len(trace)
+        detail["retransmit_share"] = trace.retransmit_share()
+    return trace
 
 
 def kernel_table() -> list:

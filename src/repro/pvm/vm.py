@@ -100,6 +100,9 @@ class VirtualMachine:
     send_overhead:
         Fixed sender CPU cost per ``pvm_send`` call (library and syscall
         path); it paces tight small-message loops like SEQ's.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector`; gives every
+        daemon its crash windows.
     """
 
     def __init__(
@@ -111,6 +114,7 @@ class VirtualMachine:
         fragment_overhead: float = 60e-6,
         send_overhead: float = 120e-6,
         tcp_kwargs: Optional[dict] = None,
+        fault_injector=None,
     ):
         self.sim = sim
         self.machines = [PvmMachine(s) for s in stacks]
@@ -118,11 +122,13 @@ class VirtualMachine:
         self.fragment_overhead = fragment_overhead
         self.send_overhead = send_overhead
         self.tcp_kwargs = dict(tcp_kwargs or {})
+        self.fault_injector = fault_injector
         self._tasks: Dict[int, PvmTask] = {}
         self._next_tid = 1
         self._connections: Dict[Tuple[int, int], TcpConnection] = {}
         for m in self.machines:
-            m.daemon = PvmDaemon(sim, m.stack, self, keepalive_interval)
+            m.daemon = PvmDaemon(sim, m.stack, self, keepalive_interval,
+                                 fault_injector=fault_injector)
 
     # -- task management -------------------------------------------------
     def spawn(self, machine_index: int, name: str = "") -> PvmTask:

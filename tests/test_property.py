@@ -124,7 +124,7 @@ def test_sliding_window_positive_and_bounded(packets):
 @SLOW
 def test_connection_filters_partition_trace(packets, split):
     rows = [
-        (t, s, i % 4, (i + 1 + split) % 4, 6, 0)
+        (t, s, i % 4, (i + 1 + split) % 4, 6, 0, 0)
         for i, (t, s) in enumerate(sorted(packets))
     ]
     trace = PacketTrace(np.array(rows, dtype=trace_dtype()))

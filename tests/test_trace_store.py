@@ -206,3 +206,72 @@ class TestRunnerFacade:
             assert (tmp_path / f"{TraceKey.make('sor', scale='smoke', seed=0).digest()}.npz").exists()
         finally:
             runner._STORE = original
+
+
+class TestQuarantine:
+    def _corrupt_entry(self, tmp_path, **key_kwargs):
+        store = TraceStore(disk_dir=tmp_path)
+        store.get("sor", scale="smoke", seed=0, **key_kwargs)
+        digest = TraceKey.make("sor", scale="smoke", seed=0,
+                               **key_kwargs).digest()
+        path = tmp_path / f"{digest}.npz"
+        path.write_bytes(b"PK\x03\x04 definitely not a trace")
+        return digest, path
+
+    def test_unreadable_entry_is_quarantined_and_reproduced(self, tmp_path):
+        digest, path = self._corrupt_entry(tmp_path)
+        fresh = TraceStore(disk_dir=tmp_path)
+        trace = fresh.get("sor", scale="smoke", seed=0)
+        assert len(trace) > 0
+        corrupt = tmp_path / f"{digest}.npz.corrupt"
+        assert corrupt.exists()
+        assert fresh.stats.quarantined == 1
+        assert fresh.quarantined_entries() == [corrupt]
+        # the reproduced trace was written back under the same digest
+        # and is loadable again
+        assert path.exists()
+        assert len(TraceStore(disk_dir=tmp_path).get(
+            "sor", scale="smoke", seed=0)) == len(trace)
+
+    def test_quarantined_count_in_stats_dict(self, tmp_path):
+        self._corrupt_entry(tmp_path)
+        fresh = TraceStore(disk_dir=tmp_path)
+        fresh.get("sor", scale="smoke", seed=0)
+        assert fresh.stats.as_dict()["quarantined"] == 1
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        self._corrupt_entry(tmp_path)
+        fresh = TraceStore(disk_dir=tmp_path)
+        fresh.get("sor", scale="smoke", seed=0)
+        fresh.clear(disk=True)
+        assert fresh.quarantined_entries() == []
+        assert fresh.disk_entries() == []
+
+
+class TestWarmFailures:
+    BAD_SPECS = [("sor", "smoke", 0),
+                 ("sor", "smoke", 1, {"nprocs": 0}),
+                 ("hist", "smoke", 0)]
+
+    def _check(self, results):
+        by_seed = {r.key.seed: r for r in results if r.key.name == "sor"}
+        assert by_seed[0].ok and by_seed[0].packets > 0
+        assert not by_seed[1].ok
+        assert "ValueError" in by_seed[1].error
+        hist = next(r for r in results if r.key.name == "hist")
+        assert hist.ok and hist.packets > 0
+
+    def test_serial_warm_tolerates_a_failing_trace(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path)
+        self._check(store.warm(self.BAD_SPECS, jobs=1))
+        assert len(store.disk_entries()) == 2
+
+    def test_parallel_warm_tolerates_a_failing_trace(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path)
+        self._check(store.warm(self.BAD_SPECS, jobs=2))
+        assert len(store.disk_entries()) == 2
+
+    def test_warm_load_skips_failures(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path)
+        results = store.warm(self.BAD_SPECS, jobs=1, load=True)
+        assert sum(1 for r in results if r.ok) == 2

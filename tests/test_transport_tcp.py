@@ -249,3 +249,55 @@ def test_invalid_parameters_rejected(net):
         stacks[0].connect(stacks[1], window=0)
     with pytest.raises(ValueError):
         stacks[0].connect(stacks[1], mss=2000)
+
+
+# -- delayed-ACK fallback timer (the BSD 200 ms path) -----------------
+
+
+def test_delayed_ack_timer_cancelled_by_second_segment(net):
+    sim, bus, stacks = net
+    records = capture(bus)
+    conn = stacks[0].connect(stacks[1])
+
+    def sender(sim):
+        conn.forward.send(100, obj=None)  # arms the fallback timer
+        yield sim.timeout(0.05)           # well inside the 200 ms window
+        conn.forward.send(100, obj=None)  # ack_every=2 acks immediately
+
+    sim.process(sender(sim))
+    sim.run()
+    acks = [t for t, src, _, s in records if src == 1 and s == 58]
+    # exactly one ACK: the immediate one; the stale timer must not add
+    # a second when it expires at ~0.2
+    assert len(acks) == 1
+    assert acks[0] < 0.2
+
+
+def test_delayed_ack_timer_rearms_for_later_segments(net):
+    sim, bus, stacks = net
+    records = capture(bus)
+    conn = stacks[0].connect(stacks[1])
+
+    def sender(sim):
+        conn.forward.send(100, obj=None)
+        yield sim.timeout(1.0)            # first fallback ACK fired at ~0.2
+        conn.forward.send(100, obj=None)  # must arm a fresh timer
+
+    sim.process(sender(sim))
+    sim.run()
+    acks = [t for t, src, _, s in records if src == 1 and s == 58]
+    assert len(acks) == 2
+    assert 0.2 <= acks[0] < 1.0
+    assert acks[1] >= 1.2
+
+
+def test_delayed_ack_timer_fires_under_loss_recovery(net):
+    sim, bus, stacks = net
+    records = capture(bus)
+    conn = stacks[0].connect(stacks[1], loss_recovery=True)
+    conn.forward.send(100, obj=None)
+    sim.run()
+    acks = [t for t, src, _, s in records if src == 1 and s == 58]
+    assert len(acks) == 1
+    assert acks[0] >= 0.2
+    assert conn.forward.mailbox.get().value.nbytes == 100
