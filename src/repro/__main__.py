@@ -4,24 +4,33 @@ Usage::
 
     python -m repro list
     python -m repro run fig7 [--scale default|full|smoke] [--seed N]
-                             [--export DIR] [--faults SPEC]
+                             [--export DIR] [--faults SPEC] [--sanitize]
     python -m repro all [--scale ...] [--seed N] [--export DIR]
     python -m repro trace 2dfft --out trace.npz [--scale ...] [--text]
-                                [--faults "loss=0.01,seed=1"]
+                                [--faults "loss=0.01,seed=1"] [--sanitize]
     python -m repro cache stats|clear|warm [--jobs N] [--dir DIR]
     python -m repro faults show "loss=0.01,stall=2:10-20:3"
     python -m repro faults demo [--scale smoke] [--loss 0.01]
+    python -m repro lint [paths...] [--select/--ignore SIMxxx,...]
+                         [--format text|json] [--baseline FILE] [--stats]
 
 ``run``/``all``/``cache`` share the persistent trace cache (default
 ``results/.trace-cache``, override with ``--cache-dir`` or the
 ``REPRO_TRACE_CACHE`` environment variable): traces simulated once —
 serially or by ``cache warm``'s worker pool — are reused by every later
 invocation.
+
+``--sanitize`` runs the simulation under the runtime sanitizer
+(:mod:`repro.simlint.sanitizer`): invariant violations raise instead of
+silently corrupting figures.  It implies ``--no-cache`` so traces are
+actually re-simulated under observation; the traces produced stay
+byte-identical to unsanitized runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .harness import ABLATIONS, EXPERIMENTS, export_artifact
@@ -83,12 +92,23 @@ def _parse_faults(args):
     return plan
 
 
+def _apply_sanitize(args) -> None:
+    """Honor ``--sanitize``: every simulator this process builds attaches
+    the runtime sanitizer, and the disk cache is bypassed so the traces
+    are actually produced under observation (they stay byte-identical,
+    so nothing downstream changes)."""
+    if getattr(args, "sanitize", False):
+        os.environ["REPRO_SANITIZE"] = "1"
+        args.no_cache = True
+
+
 def _cmd_run(args) -> int:
     if args.experiment not in ALL_RUNNERS:
         print(f"unknown experiment {args.experiment!r}; "
               f"known: {', '.join(ALL_RUNNERS)}", file=sys.stderr)
         return 2
     _parse_faults(args)
+    _apply_sanitize(args)
     if not args.no_cache:
         _store(args)
     ok = _run_one(args.experiment, args)
@@ -97,6 +117,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_all(args) -> int:
     _parse_faults(args)
+    _apply_sanitize(args)
     if not args.no_cache:
         _store(args)
     failures = []
@@ -191,9 +212,12 @@ def _cmd_trace(args) -> int:
               file=sys.stderr)
         return 2
     plan = _parse_faults(args)
+    _apply_sanitize(args)
     detail: dict = {}
     trace = run_measured(args.program, scale=args.scale, seed=args.seed,
-                         faults=plan, detail=detail)
+                         faults=plan,
+                         sanitize=True if args.sanitize else None,
+                         detail=detail)
     if args.text:
         save_text(trace, args.out)
     else:
@@ -209,6 +233,60 @@ def _cmd_trace(args) -> int:
         print(f"retransmissions: {detail.get('retransmitted_segments', 0)} "
               f"segments ({trace.retransmit_share():.1%} of bytes)")
     return 0
+
+
+# -- static analysis --------------------------------------------------
+
+
+def _cmd_lint(args) -> int:
+    from . import simlint
+
+    paths = args.paths
+    if not paths:
+        paths = [p for p in ("src", "benchmarks") if os.path.isdir(p)] or ["."]
+    try:
+        select = args.select.split(",") if args.select else None
+        ignore = args.ignore.split(",") if args.ignore else None
+        result = simlint.lint_paths(paths, select=select, ignore=ignore)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("lint: --write-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        count = simlint.write_baseline(args.baseline, result)
+        print(f"recorded {count} accepted finding(s) in {args.baseline}")
+        return 0
+
+    findings = result.findings
+    baselined = 0
+    if args.baseline:
+        try:
+            accepted = simlint.load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"lint: baseline {args.baseline} not found "
+                  "(create it with --write-baseline)", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = simlint.apply_baseline(result, accepted)
+
+    if args.format == "json":
+        print(simlint.format_json(result, findings=findings,
+                                  baselined=baselined))
+    else:
+        print(simlint.format_text(result, findings=findings))
+        if baselined:
+            print(f"({baselined} baselined finding(s) not shown)")
+    if args.stats:
+        print(simlint.format_stats(result))
+    if result.errors:
+        return 1
+    return 1 if findings else 0
 
 
 # -- fault injection --------------------------------------------------
@@ -281,6 +359,10 @@ def main(argv=None) -> int:
         p.add_argument("--faults", metavar="SPEC", default=None,
                        help='fault-plan spec, e.g. "loss=0.01,seed=1" '
                             "(see `repro faults show`)")
+        p.add_argument("--sanitize", action="store_true",
+                       help="run under the simulation sanitizer "
+                            "(implies --no-cache; traces stay "
+                            "byte-identical)")
 
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment")
@@ -339,6 +421,25 @@ def main(argv=None) -> int:
     p_warm.add_argument("--faults", metavar="SPEC", default=None,
                         help="warm faulted variants of the traces")
     p_warm.set_defaults(fn=_cmd_cache_warm)
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism & causality static analysis (simlint)"
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories (default: src benchmarks)")
+    p_lint.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule IDs to run (default: all)")
+    p_lint.add_argument("--ignore", metavar="RULES", default=None,
+                        help="comma-separated rule IDs to skip")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument("--baseline", metavar="FILE", default=None,
+                        help="accepted-findings file; only regressions fail")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="record current findings into --baseline FILE")
+    p_lint.add_argument("--stats", action="store_true",
+                        help="print a coverage summary (files, per-rule "
+                             "counts, suppressions)")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_faults = sub.add_parser(
         "faults", help="inspect fault plans and demo fault injection"

@@ -109,7 +109,9 @@ def replay_trace(trace: PacketTrace, bandwidth_bps: float = 10e6,
     sim = Simulator()
     bus = EthernetBus(sim, bandwidth_bps=bandwidth_bps, seed=seed)
     stations = set(int(h) for h in trace.hosts())
-    nics = {sid: Nic(sim, bus, sid) for sid in stations}
+    # Sorted: Nic construction order fixes each tx process's scheduling
+    # rank, so it must not depend on set hash order.
+    nics = {sid: Nic(sim, bus, sid) for sid in sorted(stations)}
     recorder = TraceRecorder(bus)
     replayer = TraceReplayer(sim, nics, trace)
     replayer.start()

@@ -9,6 +9,7 @@ repeatable given the same seeds.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
@@ -17,6 +18,12 @@ from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 
 __all__ = ["Simulator"]
+
+
+def _env_sanitize() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
 
 
 class Simulator:
@@ -28,14 +35,29 @@ class Simulator:
         If True (default), an exception escaping a process propagates out
         of :meth:`run` immediately.  If False, the process simply fails
         and waiters receive the exception.
+    sanitize:
+        Attach a :class:`~repro.simlint.SimSanitizer` that asserts
+        causality/conservation invariants while the simulation runs (see
+        ``docs/architecture.md``, "Determinism contract & simlint").
+        ``None`` (the default) defers to the ``REPRO_SANITIZE``
+        environment variable.  The sanitizer observes only — a sanitized
+        run is byte-identical to an unsanitized one.
     """
 
-    def __init__(self, strict: bool = True):
+    def __init__(self, strict: bool = True, sanitize: Optional[bool] = None):
         self._now: float = 0.0
         self._heap: list = []
         self._seq: int = 0
         self.strict = strict
         self._active_process: Optional[Process] = None
+        if sanitize is None:
+            sanitize = _env_sanitize()
+        self.sanitizer = None
+        if sanitize:
+            # Imported lazily: simlint is a layer above the DES core.
+            from ..simlint.sanitizer import SimSanitizer
+
+            self.sanitizer = SimSanitizer()
 
     # -- time --------------------------------------------------------
     @property
@@ -91,6 +113,8 @@ class Simulator:
         if not self._heap:
             raise EmptySchedule("no scheduled events")
         time, _seq, event = heappop(self._heap)
+        if self.sanitizer is not None:
+            self.sanitizer.on_pop(time, self._now, event)
         self._now = time
         event._process()
 

@@ -52,6 +52,11 @@ class FxCluster:
         canonical dict).  Wires the plan's injector into the bus, NICs,
         daemons, and compute model, and enables TCP loss recovery unless
         ``tcp_kwargs`` explicitly overrides ``loss_recovery``.
+    sanitize:
+        Attach the runtime simulation sanitizer
+        (:class:`~repro.simlint.SimSanitizer`) to the cluster's
+        simulator; ``None`` defers to the ``REPRO_SANITIZE`` environment
+        variable.  Sanitized runs produce byte-identical traces.
     """
 
     def __init__(
@@ -63,11 +68,12 @@ class FxCluster:
         keepalive_interval: float = 0.0,
         tcp_kwargs: Optional[dict] = None,
         faults=None,
+        sanitize: Optional[bool] = None,
     ):
         if n_machines < 2:
             raise ValueError("a cluster needs at least 2 machines")
         self.seed = seed
-        self.sim = Simulator()
+        self.sim = Simulator(sanitize=sanitize)
         self.faults: Optional[FaultPlan] = FaultPlan.coerce(faults)
         self.fault_injector: Optional[FaultInjector] = None
         if self.faults is not None:
@@ -288,6 +294,9 @@ class FxRuntime:
         """Run the program to completion and return the captured trace."""
         procs = self.launch(program, iterations)
         self.sim.run(until=self.sim.all_of(procs))
+        if self.sim.sanitizer is not None:
+            # End-of-run conservation: NicStats vs. the bus drop log.
+            self.sim.sanitizer.verify_end_of_run()
         return self.cluster.trace()
 
 

@@ -101,7 +101,7 @@ def replicate(
     metric_names = set(artifacts[0].metrics)
     for art in artifacts[1:]:
         metric_names &= set(art.metrics)
-    for name in metric_names:
+    for name in sorted(metric_names):
         values = np.array([float(a.metrics[name]) for a in artifacts])
         if not np.all(np.isfinite(values)):
             continue
@@ -111,7 +111,7 @@ def replicate(
     check_names = set()
     for art in artifacts:
         check_names |= set(art.checks)
-    for name in check_names:
+    for name in sorted(check_names):
         hits = sum(1 for a in artifacts if a.checks.get(name, False))
         rep.check_pass_rates[name] = hits / len(artifacts)
     return rep

@@ -351,7 +351,7 @@ class TraceStore:
         self._lru.clear()
         removed = 0
         if disk and self.disk_dir is not None and self.disk_dir.exists():
-            for path in self.disk_dir.iterdir():
+            for path in sorted(self.disk_dir.iterdir()):
                 if (path.suffix in (".npz", ".json", ".corrupt")
                         and not path.name.startswith(".")):
                     path.unlink()

@@ -137,6 +137,8 @@ class EthernetBus:
         self._window: Optional[_Window] = None
         self._stations: Dict[int, Callable[[EthernetFrame, float], None]] = {}
         self._listeners: List[Callable[[EthernetFrame, float], None]] = []
+        if sim.sanitizer is not None:
+            sim.sanitizer.attach_bus(self)
 
     # -- wiring --------------------------------------------------------
     def attach(self, station_id: int, rx: Callable[[EthernetFrame, float], None]):
@@ -236,6 +238,8 @@ class EthernetBus:
 
             # Sole transmitter: hold the medium for the frame + IFG.
             tx_time = self.tx_time(frame)
+            if sim.sanitizer is not None:
+                sim.sanitizer.on_bus_transmission(sim.now, sim.now + tx_time)
             self._busy_until = max(self._busy_until, sim.now + tx_time + self.ifg_time)
             yield sim.timeout(tx_time)
             self.stats.busy_time += tx_time

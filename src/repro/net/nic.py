@@ -58,6 +58,8 @@ class Nic:
         self._queue: Store = Store(sim)
         self._rx_handler: Optional[Callable[[EthernetFrame, float], None]] = None
         bus.attach(station_id, self._on_rx)
+        if sim.sanitizer is not None:
+            sim.sanitizer.register_nic(self)
         self._tx_proc = sim.process(self._tx_loop(), name=f"nic{station_id}-tx")
 
     # -- transmit --------------------------------------------------------

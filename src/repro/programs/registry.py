@@ -54,6 +54,7 @@ def run_measured(
     program_kwargs: Optional[dict] = None,
     cluster_kwargs: Optional[dict] = None,
     faults=None,
+    sanitize: Optional[bool] = None,
     detail: Optional[dict] = None,
 ) -> PacketTrace:
     """Reproduce one of the paper's measurement runs.
@@ -76,6 +77,12 @@ def run_measured(
         Optional fault plan (spec string, canonical dict, or
         :class:`~repro.faults.FaultPlan`) injected into the testbed;
         enables TCP loss recovery.
+    sanitize:
+        Run under the simulation sanitizer
+        (:class:`~repro.simlint.SimSanitizer`): invariant violations
+        raise :class:`~repro.simlint.SanitizerError` instead of silently
+        corrupting the trace.  Does not change the trace bytes; ``None``
+        defers to ``REPRO_SANITIZE``.
     detail:
         Pass a dict to receive the run summary —
         :meth:`FxCluster.fault_report` plus ``retransmit_share`` — in
@@ -92,7 +99,7 @@ def run_measured(
             ) from None
     program = make_program(name, **(program_kwargs or {}))
     cluster = FxCluster(n_machines=nprocs + 1, seed=seed, faults=faults,
-                        **(cluster_kwargs or {}))
+                        sanitize=sanitize, **(cluster_kwargs or {}))
     runtime = FxRuntime(
         cluster, nprocs, work_model_for(name, seed=seed), route=route
     )

@@ -1,0 +1,48 @@
+"""simlint: the determinism & causality toolchain.
+
+The whole reproduction rests on exact repeatability — the same seed must
+yield byte-identical traces (see :mod:`repro.des.simulator`).  This
+package *enforces* that contract in two complementary ways:
+
+* a **static AST pass** (:mod:`.rules`, :mod:`.engine`, :mod:`.report`)
+  that walks the simulation sources and flags determinism/causality
+  hazards with stable rule IDs (``SIM001``..``SIM007``), exposed as
+  ``repro lint``;
+* a **runtime sanitizer** (:mod:`.sanitizer`) that, when enabled via
+  ``Simulator(sanitize=True)`` or ``REPRO_SANITIZE=1``, cheaply asserts
+  scheduling/medium/transport invariants while a simulation runs and
+  raises :class:`SanitizerError` on the first violation — without
+  perturbing the simulation (sanitized runs stay byte-identical).
+"""
+
+from .engine import (
+    FileReport,
+    LintResult,
+    apply_baseline,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from .report import format_json, format_stats, format_text
+from .rules import Finding, RULES
+from .sanitizer import SanitizerError, SimSanitizer
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "FileReport",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "format_text",
+    "format_json",
+    "format_stats",
+    "SanitizerError",
+    "SimSanitizer",
+]

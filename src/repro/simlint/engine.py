@@ -1,0 +1,248 @@
+"""The lint engine: file walking, suppression, baselines.
+
+Suppression is inline and per-line::
+
+    frames = list(path.glob("*.npz"))  # simlint: ignore[SIM004] -- order irrelevant, set-compared
+
+The comment must sit on the finding's reported line and name the rule ID
+(several may be listed: ``ignore[SIM002,SIM004]``).  Unknown-rule ignores
+are themselves reported, so suppressions cannot rot silently.
+
+Baselines (``repro lint --baseline FILE``) record accepted findings by
+*fingerprint* — a hash of (rule, path, stripped source line) — so the
+gate fails only on regressions while the line numbers underneath shift
+freely.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .rules import RULES, Finding, analyze
+
+__all__ = [
+    "FileReport",
+    "LintResult",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+_IGNORE_RE = re.compile(r"#\s*simlint:\s*ignore\[([A-Za-z0-9_,\s]*)\]")
+
+
+@dataclass
+class FileReport:
+    """Lint outcome for one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Total ``# simlint: ignore[...]`` comments present in the file.
+    ignore_comments: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome over every linted file."""
+
+    reports: List[FileReport] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [f for r in self.reports for f in r.findings]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for r in self.reports for f in r.suppressed]
+
+    @property
+    def errors(self) -> List[Tuple[str, str]]:
+        return [(r.path, r.error) for r in self.reports if r.error]
+
+    @property
+    def files_scanned(self) -> int:
+        return sum(1 for r in self.reports if r.error is None)
+
+    @property
+    def ignore_comments(self) -> int:
+        return sum(r.ignore_comments for r in self.reports)
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts = {rule: 0 for rule in RULES}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def _fingerprint(rule: str, path: str, line_text: str) -> str:
+    digest = hashlib.sha256(
+        f"{rule}:{path}:{line_text.strip()}".encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+def _line_ignores(source: str) -> Dict[int, Set[str]]:
+    """1-based line number -> rule IDs suppressed on that line.
+
+    Tokenized, not regex-over-lines, so the pattern appearing inside a
+    string or docstring is not treated as a suppression.
+    """
+    ignores: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            m = _IGNORE_RE.search(token.string)
+            if m is None:
+                continue
+            rules = {p.strip() for p in m.group(1).split(",") if p.strip()}
+            ignores[token.start[0]] = rules
+    except tokenize.TokenError:  # the AST parsed, so this is unreachable
+        pass                     # in practice; fail open (no suppression)
+    return ignores
+
+
+def _validate_rules(rule_ids: Optional[Iterable[str]]) -> Optional[Set[str]]:
+    if rule_ids is None:
+        return None
+    chosen = {r.strip().upper() for r in rule_ids if r.strip()}
+    unknown = chosen - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> FileReport:
+    """Lint one module given as source text (the unit-test entry point)."""
+    selected = _validate_rules(select)
+    ignored = _validate_rules(ignore) or set()
+    report = FileReport(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return report
+    lines = source.splitlines()
+    line_ignores = _line_ignores(source)
+    report.ignore_comments = len(line_ignores)
+    for finding in analyze(tree, path):
+        if selected is not None and finding.rule not in selected:
+            continue
+        if finding.rule in ignored:
+            continue
+        line_text = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        finding.fingerprint = _fingerprint(finding.rule, path, line_text)
+        if finding.rule in line_ignores.get(finding.line, ()):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted, duplicate-free file list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+    return out
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    result = LintResult()
+    for path in iter_python_files(paths):
+        display = _display_path(path)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            result.reports.append(
+                FileReport(path=display, error=f"unreadable: {exc}")
+            )
+            continue
+        result.reports.append(
+            lint_source(source, path=display, select=select, ignore=ignore)
+        )
+    return result
+
+
+# -- baselines ---------------------------------------------------------
+
+def load_baseline(path) -> Set[str]:
+    """Accepted-finding fingerprints from a baseline file."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a simlint baseline file")
+    return {entry["fingerprint"] for entry in data["findings"]}
+
+
+def write_baseline(path, result: LintResult) -> int:
+    """Record the result's findings as accepted; returns the count."""
+    findings = sorted(
+        result.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    payload = {
+        "version": 1,
+        "tool": "repro.simlint",
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(findings)
+
+
+def apply_baseline(
+    result: LintResult, fingerprints: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, accepted-count) against a baseline."""
+    new = [f for f in result.findings if f.fingerprint not in fingerprints]
+    return new, len(result.findings) - len(new)

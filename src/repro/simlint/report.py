@@ -1,0 +1,82 @@
+"""Finding formatters for ``repro lint``: text, JSON, and --stats."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from .engine import LintResult
+from .rules import RULES, Finding
+
+__all__ = ["format_text", "format_json", "format_stats"]
+
+
+def format_text(result: LintResult,
+                findings: Optional[List[Finding]] = None) -> str:
+    """Human-readable report; ``findings`` overrides the result's own
+    list (used after baseline filtering)."""
+    if findings is None:
+        findings = result.findings
+    lines = [f"{f.location()}: {f.rule} {f.message}" for f in findings]
+    for path, error in result.errors:
+        lines.append(f"{path}: error: {error}")
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} in {result.files_scanned} files "
+        f"({len(result.suppressed)} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult,
+                findings: Optional[List[Finding]] = None,
+                baselined: int = 0) -> str:
+    """Machine-readable report (one JSON document) for the CI gate."""
+    if findings is None:
+        findings = result.findings
+    payload = {
+        "tool": "repro.simlint",
+        "files_scanned": result.files_scanned,
+        "findings": [
+            {
+                "rule": f.rule,
+                "summary": RULES.get(f.rule, ""),
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ],
+        "suppressed": len(result.suppressed),
+        "baselined": baselined,
+        "errors": [{"path": p, "message": m} for p, m in result.errors],
+        "counts_by_rule": {
+            rule: n for rule, n in result.counts_by_rule().items() if n
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def format_stats(result: LintResult) -> str:
+    """Coverage summary: files scanned, findings per rule, suppressions."""
+    lines = [
+        "simlint coverage",
+        f"  files scanned:     {result.files_scanned}",
+        f"  findings:          {len(result.findings)}",
+        f"  suppressed:        {len(result.suppressed)} "
+        f"(of {result.ignore_comments} ignore comments)",
+        f"  parse errors:      {len(result.errors)}",
+        "  findings per rule:",
+    ]
+    counts = result.counts_by_rule()
+    suppressed_counts = {rule: 0 for rule in RULES}
+    for finding in result.suppressed:
+        suppressed_counts[finding.rule] += 1
+    for rule in sorted(RULES):
+        lines.append(
+            f"    {rule}  {counts.get(rule, 0):>3} open, "
+            f"{suppressed_counts.get(rule, 0):>3} suppressed  — {RULES[rule]}"
+        )
+    return "\n".join(lines)

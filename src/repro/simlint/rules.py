@@ -1,0 +1,401 @@
+"""The static determinism/causality rules, SIM001..SIM007.
+
+Each rule has a stable ID, so findings can be suppressed inline
+(``# simlint: ignore[SIM002]``) or recorded in a baseline file without
+the suppression rotting when messages are reworded.
+
+The rules are deliberately heuristic: they run on a single file's AST
+with no cross-module type inference, so each one trades recall for a
+low false-positive rate on simulation code.  Where a rule narrows the
+ISSUE-level intent, the narrowing is documented on the rule itself.
+
+* **SIM001** — wall-clock reads (``time.time``, ``perf_counter``,
+  ``datetime.now``, ...).  Simulation time is :attr:`Simulator.now`;
+  wall-clock anywhere in a sim module makes output timing-dependent.
+* **SIM002** — draws from the unseeded process-global RNG
+  (``random.random()``, bare ``np.random.*``).  Every stochastic
+  component must draw from an injected ``random.Random(seed)`` /
+  ``np.random.default_rng(seed)`` stream (the pattern of
+  ``faults/inject.py``, ``net/medium.py``, ``baselines/*``).
+* **SIM003** — iteration over a ``set``/``frozenset`` without
+  ``sorted()``.  Set order depends on element hashes (and, for strings,
+  on ``PYTHONHASHSEED``), so it must never reach scheduling or trace
+  output.  Dict iteration is *not* flagged: insertion order is
+  guaranteed since Python 3.7 and is deterministic whenever the
+  insertions are.
+* **SIM004** — unsorted directory listings (``Path.glob``/``rglob``/
+  ``iterdir``, ``os.listdir``/``scandir``, ``glob.glob``).  Filesystem
+  order is platform noise.
+* **SIM005** — mutable default arguments; shared state leaks across
+  simulation instances.
+* **SIM006** — time arithmetic mixing unit-suffixed names (``_ms``,
+  ``_us``, ``_ns`` vs bare-seconds ``_s``/``_sec``/``_seconds``).
+* **SIM007** — ``timeout(a - b)`` where the difference could be
+  negative and no guard is visible (no ``max()``/``abs()`` wrap and no
+  enclosing/sibling ``if``/``while`` test mentioning both operands).
+  A negative delay would schedule an event into the past.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+__all__ = ["Finding", "RULES", "analyze"]
+
+
+@dataclass
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Stable identity for baselines: hash of (rule, path, line text).
+    fingerprint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+#: Rule ID -> one-line summary (the ``repro lint --stats`` legend).
+RULES: Dict[str, str] = {
+    "SIM001": "wall-clock call inside simulation code",
+    "SIM002": "draw from the unseeded global RNG",
+    "SIM003": "iteration over a set without sorted()",
+    "SIM004": "unsorted directory listing",
+    "SIM005": "mutable default argument",
+    "SIM006": "time arithmetic mixing unit suffixes",
+    "SIM007": "timeout() with possibly-negative delay and no guard",
+}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+}
+
+#: Seeded-stream constructors on the random module: allowed by SIM002.
+_RANDOM_OK = {"Random", "SystemRandom"}
+
+#: numpy.random attributes that construct an explicit (seedable) stream.
+_NP_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+_LISTING_ATTRS = {"glob", "rglob", "iterdir"}
+_LISTING_DOTTED = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
+
+_UNIT_RE = re.compile(r"_(ms|us|ns|s|sec|secs|seconds)$")
+_UNIT_NORMALIZE = {"sec": "s", "secs": "s", "seconds": "s"}
+
+#: Modules whose imported names we track for dotted-call resolution.
+_TRACKED_MODULES = {"time", "datetime", "random", "os", "glob", "numpy", "numpy.random"}
+
+
+def _time_unit(node: ast.AST) -> Optional[str]:
+    """The unit suffix of a Name/Attribute, normalized, or None."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    m = _UNIT_RE.search(name)
+    if m is None:
+        return None
+    unit = m.group(1)
+    return _UNIT_NORMALIZE.get(unit, unit)
+
+
+def _unguarded_sub(node: ast.AST) -> Optional[ast.BinOp]:
+    """First subtraction in ``node`` not inside a max()/abs() wrap."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("max", "abs"):
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+        return node
+    for child in ast.iter_child_nodes(node):
+        found = _unguarded_sub(child)
+        if found is not None:
+            return found
+    return None
+
+
+class _Analyzer(ast.NodeVisitor):
+    """Single-pass visitor implementing every rule over one module."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        #: local name -> dotted module path ("np" -> "numpy",
+        #: "perf_counter" -> "time.perf_counter").
+        self._names: Dict[str, str] = {}
+        self._parent: Dict[ast.AST, ast.AST] = {}
+        #: Stack of per-scope sets of names known to hold a set object.
+        self._set_names: List[Set[str]] = [set()]
+
+    # -- plumbing ------------------------------------------------------
+    def run(self, tree: ast.Module) -> List[Finding]:
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parent[child] = parent
+        self.visit(tree)
+        return self.findings
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(rule=rule, path=self.path, line=node.lineno,
+                    col=node.col_offset, message=message)
+        )
+
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of an attribute chain rooted at an imported name."""
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        base = self._names.get(cur.id)
+        if base is None:
+            return None
+        return ".".join([base] + list(reversed(parts)))
+
+    def _enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        cur = self._parent.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self._parent.get(cur)
+        return None
+
+    def _inside_sorted(self, node: ast.AST) -> bool:
+        """True if an ancestor expression (up to the statement) is
+        a ``sorted(...)`` call."""
+        cur = self._parent.get(node)
+        while cur is not None and not isinstance(cur, ast.stmt):
+            if isinstance(cur, ast.Call) and isinstance(cur.func, ast.Name) \
+                    and cur.func.id == "sorted":
+                return True
+            cur = self._parent.get(cur)
+        return False
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self._names[bound] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in _TRACKED_MODULES:
+            for alias in node.names:
+                self._names[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- scopes & set inference ---------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset"))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].add(target.id)
+        self.generic_visit(node)
+
+    def _visit_function(self, node) -> None:
+        self._check_mutable_defaults(node)
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- SIM005 --------------------------------------------------------
+    def _check_mutable_defaults(self, node) -> None:
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            )
+            if mutable:
+                self._flag(
+                    "SIM005", default,
+                    f"mutable default argument in {node.name}(); the object "
+                    "is shared across calls and simulation instances — "
+                    "default to None and construct inside",
+                )
+
+    # -- SIM003 --------------------------------------------------------
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if self._is_set_expr(iter_node):
+            self._flag(
+                "SIM003", iter_node,
+                "iteration over a set: order depends on element hashes "
+                "(PYTHONHASHSEED for strings) — wrap in sorted(...)",
+            )
+            return
+        if isinstance(iter_node, ast.Name):
+            for scope in self._set_names:
+                if iter_node.id in scope:
+                    self._flag(
+                        "SIM003", iter_node,
+                        f"iteration over set {iter_node.id!r}: order depends "
+                        "on element hashes — wrap in sorted(...)",
+                    )
+                    return
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    # -- SIM006 --------------------------------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left, right = _time_unit(node.left), _time_unit(node.right)
+            if left is not None and right is not None and left != right:
+                self._flag(
+                    "SIM006", node,
+                    f"time arithmetic mixes units: "
+                    f"{ast.unparse(node.left)} [{left}] "
+                    f"{'+' if isinstance(node.op, ast.Add) else '-'} "
+                    f"{ast.unparse(node.right)} [{right}]",
+                )
+        self.generic_visit(node)
+
+    # -- call-based rules ---------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._resolve(node.func)
+        if dotted is not None:
+            self._check_wall_clock(node, dotted)
+            self._check_global_rng(node, dotted)
+        self._check_listing(node, dotted)
+        self._check_timeout(node)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _WALL_CLOCK:
+            self._flag(
+                "SIM001", node,
+                f"wall-clock call {dotted}(): simulation code must read "
+                "time from Simulator.now, never the host clock",
+            )
+
+    def _check_global_rng(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) == 2 \
+                and parts[1] not in _RANDOM_OK:
+            self._flag(
+                "SIM002", node,
+                f"{dotted}() draws from the process-global RNG; inject a "
+                "seeded random.Random(seed) stream instead",
+            )
+        elif parts[:2] == ["numpy", "random"] and len(parts) > 2 \
+                and parts[2] not in _NP_RANDOM_OK:
+            self._flag(
+                "SIM002", node,
+                f"{dotted}() draws from numpy's global RNG; use "
+                "np.random.default_rng(seed) and pass the generator",
+            )
+
+    def _check_listing(self, node: ast.Call, dotted: Optional[str]) -> None:
+        name = None
+        if dotted in _LISTING_DOTTED:
+            name = dotted
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _LISTING_ATTRS and dotted is None:
+            name = node.func.attr
+        if name is None or self._inside_sorted(node):
+            return
+        self._flag(
+            "SIM004", node,
+            f"{name}() yields entries in filesystem order, which is "
+            "platform- and history-dependent — wrap in sorted(...)",
+        )
+
+    # -- SIM007 --------------------------------------------------------
+    def _check_timeout(self, node: ast.Call) -> None:
+        is_timeout = (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "timeout"
+        ) or (isinstance(node.func, ast.Name) and node.func.id == "timeout")
+        if not is_timeout or not node.args:
+            return
+        sub = _unguarded_sub(node.args[0])
+        if sub is None:
+            return
+        left_txt = ast.unparse(sub.left)
+        right_txt = ast.unparse(sub.right)
+        scope = self._enclosing_function(node)
+        tests: List[str] = []
+        if scope is not None:
+            for n in ast.walk(scope):
+                if isinstance(n, (ast.If, ast.While, ast.IfExp)):
+                    tests.append(ast.unparse(n.test))
+                elif isinstance(n, ast.Assert):
+                    tests.append(ast.unparse(n.test))
+        for test in tests:
+            if left_txt in test and right_txt in test:
+                return  # a comparison over both operands guards the delay
+        self._flag(
+            "SIM007", node,
+            f"timeout({ast.unparse(node.args[0])}) may be negative — an "
+            "event scheduled into the past; guard with a comparison of "
+            f"{left_txt} and {right_txt} or clamp with max(0.0, ...)",
+        )
+
+
+def analyze(tree: ast.Module, path: str) -> List[Finding]:
+    """All rule findings for one parsed module, in source order."""
+    findings = _Analyzer(path).run(tree)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings

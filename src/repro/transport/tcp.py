@@ -281,6 +281,8 @@ class TcpPipe:
             retransmit = self._snd_nxt < self._snd_max
             seg = TcpSegment(self, self._snd_nxt, data_len,
                              retransmit=retransmit)
+            if sim.sanitizer is not None:
+                sim.sanitizer.on_tcp_data(self, seg)
             self._snd_nxt += data_len
             self.segments_sent += 1
             self.bytes_sent += data_len
@@ -429,6 +431,8 @@ class TcpPipe:
         self._segs_since_ack = 0
         self._ack_timer_armed = False
         ack = TcpSegment(self, 0, 0, ack_no=self._rcv_bytes, is_ack=True)
+        if self.sim.sanitizer is not None:
+            self.sim.sanitizer.on_tcp_ack(self, ack.ack_no)
         self.acks_sent += 1
         self.dst_stack.emit(self.src_stack.host_id, ack)
 
