@@ -1,0 +1,199 @@
+"""Simulator runtime benchmark: wall clock and events/sec per program.
+
+Measures what ``repro profile`` reports — end-to-end wall time and DES
+event throughput for the six measured programs at replication scale
+(``smoke``, the scale the replication harness sweeps seeds at) — and
+records the numbers in ``BENCH_runtime.json`` so the simulator's own
+performance trajectory is tracked alongside the paper's reproduced
+figures.
+
+The telemetry overhead contract (docs/architecture.md, "Telemetry &
+profiling") is asserted here too: with telemetry *disabled* every
+instrumentation point costs a single attribute check, and the estimated
+total — hooks crossed (counted by an enabled run) x the measured cost of
+one check — must stay under 2% of the disabled run's wall time.
+
+Run as a pytest module (``pytest benchmarks/bench_runtime.py``) or as a
+script (``python benchmarks/bench_runtime.py``) to rewrite the JSON.
+
+Wall time is read through the telemetry clock callable (never a direct
+``time.perf_counter()`` call) so this module stays simlint-clean under
+SIM001 with the rest of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import timeit
+from pathlib import Path
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Replication scale: what ``repro replicate`` sweeps seeds at.
+SCALE = os.environ.get("REPRO_BENCH_RUNTIME_SCALE", "smoke")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+REPS = int(os.environ.get("REPRO_BENCH_RUNTIME_REPS", "3"))
+
+PROGRAMS = ("sor", "2dfft", "t2dfft", "seq", "hist", "airshed")
+
+RESULT_PATH = Path(__file__).parent / "BENCH_runtime.json"
+
+#: Counters that each mark ~one disabled-mode hook crossing beyond the
+#: two per-event checks (step + resume) counted separately.
+_HOOK_COUNTERS = (
+    "bus.frames_offered",
+    "bus.frames_delivered",
+    "net.frames_dropped",
+    "nic.frames_queued",
+    "nic.frames_sent",
+    "tcp.segments_sent",
+    "tcp.acks_sent",
+    "pvm.messages_sent",
+    "fx.compute_phases",
+)
+
+
+def _wall_clock():
+    """The injectable wall clock telemetry itself uses."""
+    from repro.telemetry import Telemetry
+
+    return Telemetry().clock
+
+
+def measure_program(name: str, scale: str = SCALE, seed: int = SEED,
+                    reps: int = REPS) -> dict:
+    """Best-of-``reps`` wall time and throughput for one program.
+
+    One extra instrumented rep supplies the event/hook counts; the timed
+    reps run with telemetry disabled, so the recorded wall time is the
+    production configuration's.
+    """
+    from repro.programs import run_measured
+    from repro.telemetry import profile_program
+
+    profiled = profile_program(name, scale=scale, seed=seed)
+    clock = _wall_clock()
+    walls = []
+    for _ in range(reps):
+        t0 = clock()
+        run_measured(name, scale=scale, seed=seed)
+        walls.append(clock() - t0)
+    wall = min(walls)
+    events = profiled.events_popped
+    return {
+        "program": name,
+        "scale": scale,
+        "seed": seed,
+        "reps": reps,
+        "wall_seconds": round(wall, 6),
+        "sim_seconds": round(profiled.cluster.sim.now, 6),
+        "events_popped": events,
+        "events_per_second": round(events / wall) if wall > 0 else 0,
+        "packets": len(profiled.trace),
+    }
+
+
+def hook_crossings(counters: dict) -> int:
+    """Disabled-mode ``is not None`` checks one run performs.
+
+    Two checks fire per popped event (``Simulator.step`` and
+    ``Process._resume``); each instrumented layer adds roughly one more
+    per counted action.
+    """
+    events = int(counters.get("des.events_popped", 0))
+    layer_hooks = sum(int(counters.get(name, 0)) for name in _HOOK_COUNTERS)
+    return 2 * events + layer_hooks
+
+
+def per_check_seconds(samples: int = 200_000) -> float:
+    """Measured cost of one disabled telemetry check (attribute + is)."""
+    from repro.des import Simulator
+
+    sim = Simulator()
+    assert sim.telemetry is None
+    return timeit.timeit(
+        "sim.telemetry is not None", globals={"sim": sim}, number=samples
+    ) / samples
+
+
+def disabled_overhead_estimate(name: str = "sor", scale: str = SCALE,
+                               seed: int = SEED) -> dict:
+    """Estimated telemetry-disabled overhead for one program run."""
+    result = measure_program(name, scale=scale, seed=seed, reps=REPS)
+    from repro.telemetry import profile_program
+
+    counters = profile_program(name, scale=scale, seed=seed).telemetry.counters
+    hooks = hook_crossings(counters)
+    check = per_check_seconds()
+    overhead = hooks * check
+    share = overhead / result["wall_seconds"] if result["wall_seconds"] else 0.0
+    return {
+        "program": name,
+        "hooks_crossed": hooks,
+        "per_check_seconds": check,
+        "overhead_seconds": round(overhead, 9),
+        "wall_seconds": result["wall_seconds"],
+        "overhead_share": round(share, 6),
+    }
+
+
+# -- pytest entry points ----------------------------------------------
+
+
+def test_all_programs_complete_and_report_throughput():
+    for name in PROGRAMS:
+        result = measure_program(name, reps=1)
+        assert result["events_popped"] > 0, name
+        assert result["events_per_second"] > 0, name
+        assert result["packets"] > 0, name
+
+
+def test_disabled_overhead_within_two_percent():
+    """The acceptance contract: disabled-mode telemetry costs <= 2% of
+    the SOR replication run's wall clock."""
+    estimate = disabled_overhead_estimate("sor")
+    assert estimate["overhead_share"] <= 0.02, estimate
+
+
+def test_bench_result_file_is_current_schema():
+    doc = json.loads(RESULT_PATH.read_text())
+    assert doc["schema"] == BENCH_SCHEMA_VERSION
+    assert {r["program"] for r in doc["results"]} == set(PROGRAMS)
+    for row in doc["results"]:
+        assert row["events_per_second"] > 0
+    assert doc["overhead"]["overhead_share"] <= 0.02
+
+
+# -- script entry point -----------------------------------------------
+
+
+def main() -> int:
+    results = []
+    for name in PROGRAMS:
+        result = measure_program(name)
+        results.append(result)
+        print(f"{name:<8} wall={result['wall_seconds'] * 1e3:8.1f} ms  "
+              f"events={result['events_popped']:>8}  "
+              f"events/s={result['events_per_second']:>9}  "
+              f"packets={result['packets']:>7}")
+    overhead = disabled_overhead_estimate("sor")
+    print(f"disabled-mode overhead (sor): "
+          f"{overhead['overhead_share']:.4%} "
+          f"({overhead['hooks_crossed']} hooks x "
+          f"{overhead['per_check_seconds'] * 1e9:.1f} ns)")
+    doc = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "scale": SCALE,
+        "seed": SEED,
+        "reps": REPS,
+        "results": results,
+        "overhead": overhead,
+    }
+    RESULT_PATH.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"[wrote {RESULT_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,8 @@ Usage::
     python -m repro faults demo [--scale smoke] [--loss 0.01]
     python -m repro lint [paths...] [--select/--ignore SIMxxx,...]
                          [--format text|json] [--baseline FILE] [--stats]
+    python -m repro profile sor [--scale ...] [--seed N] [--top N]
+                                [--emit-chrome [FILE]] [--emit-metrics [FILE]]
 
 ``run``/``all``/``cache`` share the persistent trace cache (default
 ``results/.trace-cache``, override with ``--cache-dir`` or the
@@ -25,6 +27,15 @@ invocation.
 silently corrupting figures.  It implies ``--no-cache`` so traces are
 actually re-simulated under observation; the traces produced stay
 byte-identical to unsanitized runs.
+
+``--telemetry`` attaches the process-wide telemetry observer
+(:mod:`repro.telemetry`) to every simulator the command builds and
+prints a counter summary when it finishes.  Like ``--sanitize`` it
+implies ``--no-cache`` (cached traces involve no simulation to observe)
+and leaves trace bytes untouched.  ``repro profile`` is the dedicated
+front-end: one run under a private telemetry instance, reported as a
+per-subsystem wall-time breakdown with optional Chrome-trace and
+``metrics.json`` exports.
 """
 
 from __future__ import annotations
@@ -102,6 +113,35 @@ def _apply_sanitize(args) -> None:
         args.no_cache = True
 
 
+def _apply_telemetry(args) -> None:
+    """Honor ``--telemetry`` (and the ``REPRO_TELEMETRY`` environment):
+    attach the process-wide telemetry instance to every simulator this
+    process builds.  The flag implies ``--no-cache`` so there is a
+    simulation to observe; trace bytes are unchanged."""
+    from .telemetry import TELEMETRY_ENV_VAR, enable_process_telemetry
+
+    if getattr(args, "telemetry", False):
+        os.environ[TELEMETRY_ENV_VAR] = "1"
+        args.no_cache = True
+    enabled = os.environ.get(TELEMETRY_ENV_VAR, "").strip().lower()
+    if enabled in ("1", "true", "yes", "on"):
+        enable_process_telemetry()
+
+
+def _print_telemetry_summary(top: int = 10) -> None:
+    """Counter summary for ``--telemetry`` runs (no-op when disabled)."""
+    from .telemetry import process_telemetry
+
+    tel = process_telemetry()
+    if tel is None or not tel.counters:
+        return
+    print(f"telemetry: {len(tel.counters)} counters, "
+          f"{len(tel.spans)} spans")
+    by_value = sorted(tel.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    for name, value in by_value[:top]:
+        print(f"  {name:<32} {value:>14.0f}")
+
+
 def _cmd_run(args) -> int:
     if args.experiment not in ALL_RUNNERS:
         print(f"unknown experiment {args.experiment!r}; "
@@ -109,15 +149,18 @@ def _cmd_run(args) -> int:
         return 2
     _parse_faults(args)
     _apply_sanitize(args)
+    _apply_telemetry(args)
     if not args.no_cache:
         _store(args)
     ok = _run_one(args.experiment, args)
+    _print_telemetry_summary()
     return 0 if ok else 1
 
 
 def _cmd_all(args) -> int:
     _parse_faults(args)
     _apply_sanitize(args)
+    _apply_telemetry(args)
     if not args.no_cache:
         _store(args)
     failures = []
@@ -126,6 +169,7 @@ def _cmd_all(args) -> int:
         if not _run_one(exp_id, args):
             failures.append(exp_id)
         print("=" * 72)
+    _print_telemetry_summary()
     if failures:
         print(f"shape criteria FAILED for: {', '.join(failures)}", file=sys.stderr)
         return 1
@@ -137,6 +181,7 @@ def _cmd_all(args) -> int:
 
 
 def _cmd_cache_stats(args) -> int:
+    _apply_telemetry(args)
     store = _store(args)
     entries = store.disk_entries()
     total = sum(e["bytes"] for e in entries)
@@ -150,6 +195,14 @@ def _cmd_cache_stats(args) -> int:
         print(f"  {e['digest'][:12]}  schema={e.get('schema')}  "
               f"{e.get('packets', 0):>8} pkts  {tag}{extra}")
     print(f"this process: {store.stats.as_dict()}")
+    from .telemetry import process_telemetry
+
+    tel = process_telemetry()
+    if tel is not None:
+        cache_counters = {k.split(".", 1)[1]: int(v)
+                          for k, v in sorted(tel.counters.items())
+                          if k.startswith("cache.")}
+        print(f"telemetry cache counters: {cache_counters}")
     return 0
 
 
@@ -164,6 +217,7 @@ def _cmd_cache_warm(args) -> int:
     from .harness.experiments import trace_specs
     from .programs import PROGRAMS
 
+    _apply_telemetry(args)
     store = _store(args)
     try:
         seeds = [int(s) for s in args.seeds.split(",")]
@@ -213,6 +267,7 @@ def _cmd_trace(args) -> int:
         return 2
     plan = _parse_faults(args)
     _apply_sanitize(args)
+    _apply_telemetry(args)
     detail: dict = {}
     trace = run_measured(args.program, scale=args.scale, seed=args.seed,
                          faults=plan,
@@ -232,6 +287,47 @@ def _cmd_trace(args) -> int:
         print(f"drops: {dropped or 'none'}")
         print(f"retransmissions: {detail.get('retransmitted_segments', 0)} "
               f"segments ({trace.retransmit_share():.1%} of bytes)")
+    _print_telemetry_summary()
+    return 0
+
+
+# -- profiling --------------------------------------------------------
+
+
+def _cmd_profile(args) -> int:
+    from .programs import PROGRAMS
+    from .telemetry import (format_profile, profile_program, write_chrome,
+                            write_metrics)
+
+    if args.program not in PROGRAMS:
+        print(f"unknown program {args.program!r}; known: {', '.join(PROGRAMS)}",
+              file=sys.stderr)
+        return 2
+    plan = _parse_faults(args)
+    try:
+        result = profile_program(
+            args.program, scale=args.scale, seed=args.seed,
+            nprocs=args.nprocs, iterations=args.iterations, faults=plan,
+        )
+    except KeyError as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 2
+    print(format_profile(result, top_counters=args.top))
+    meta = {"program": args.program, "scale": args.scale, "seed": args.seed,
+            "nprocs": args.nprocs}
+    if args.emit_chrome is not None:
+        doc = write_chrome(result.telemetry, args.emit_chrome,
+                           label=f"{args.program}/{args.scale}")
+        print(f"[chrome trace: {len(doc['traceEvents'])} events "
+              f"-> {args.emit_chrome}]")
+    if args.emit_metrics is not None:
+        meta["wall_seconds"] = round(result.wall_seconds, 6)
+        meta["packets"] = len(result.trace)
+        meta["reconciliation"] = result.reconcile()
+        write_metrics(result.telemetry, args.emit_metrics, **meta)
+        print(f"[metrics -> {args.emit_metrics}]")
+    if not result.reconciled:
+        return 1
     return 0
 
 
@@ -363,6 +459,10 @@ def main(argv=None) -> int:
                        help="run under the simulation sanitizer "
                             "(implies --no-cache; traces stay "
                             "byte-identical)")
+        p.add_argument("--telemetry", action="store_true",
+                       help="collect telemetry counters/spans and print "
+                            "a summary (implies --no-cache; traces stay "
+                            "byte-identical)")
 
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment")
@@ -396,6 +496,9 @@ def main(argv=None) -> int:
     def add_cache_common(p):
         p.add_argument("--dir", dest="cache_dir", metavar="DIR", default=None,
                        help=f"cache directory ({DEFAULT_CACHE_DIR})")
+        p.add_argument("--telemetry", action="store_true",
+                       help="mirror cache hit/miss/eviction counters into "
+                            "process telemetry and report them")
 
     p_stats = cache_sub.add_parser("stats", help="list cached traces and counters")
     add_cache_common(p_stats)
@@ -421,6 +524,30 @@ def main(argv=None) -> int:
     p_warm.add_argument("--faults", metavar="SPEC", default=None,
                         help="warm faulted variants of the traces")
     p_warm.set_defaults(fn=_cmd_cache_warm)
+
+    p_prof = sub.add_parser(
+        "profile", help="wall-clock hot-path breakdown of one measured run"
+    )
+    p_prof.add_argument("program")
+    p_prof.add_argument("--scale", default="default",
+                        choices=["smoke", "default", "full"])
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--nprocs", type=int, default=4)
+    p_prof.add_argument("--iterations", type=int, default=None,
+                        help="override the scale's iteration count")
+    p_prof.add_argument("--faults", metavar="SPEC", default=None,
+                        help="profile the run under a fault plan")
+    p_prof.add_argument("--top", type=int, default=12,
+                        help="counters shown in the summary (default: 12)")
+    p_prof.add_argument("--emit-chrome", metavar="FILE", nargs="?",
+                        const="profile-trace.json", default=None,
+                        help="write a Chrome trace-event file "
+                             "(default name: profile-trace.json)")
+    p_prof.add_argument("--emit-metrics", metavar="FILE", nargs="?",
+                        const="profile-metrics.json", default=None,
+                        help="write a metrics snapshot "
+                             "(default name: profile-metrics.json)")
+    p_prof.set_defaults(fn=_cmd_profile)
 
     p_lint = sub.add_parser(
         "lint", help="determinism & causality static analysis (simlint)"

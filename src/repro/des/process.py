@@ -76,7 +76,24 @@ class Process(Event):
 
     # -- engine ------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        """Advance the generator with ``event``'s outcome."""
+        """Advance the generator with ``event``'s outcome.
+
+        With telemetry attached, the resume's wall time is attributed to
+        this process's name — the raw material of ``repro profile``'s
+        per-subsystem breakdown.  Resumes never nest (callbacks only run
+        from the simulator loop), so the timing needs no stack.
+        """
+        tel = self.sim.telemetry
+        if tel is None:
+            self._advance(event)
+            return
+        wall_start = tel.clock()
+        try:
+            self._advance(event)
+        finally:
+            tel.wall_account(self.name, tel.clock() - wall_start)
+
+    def _advance(self, event: Event) -> None:
         self.sim._active_process = self
         self._target = None
         try:

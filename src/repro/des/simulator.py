@@ -20,10 +20,18 @@ from .process import Process
 __all__ = ["Simulator"]
 
 
-def _env_sanitize() -> bool:
-    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in (
         "1", "true", "yes", "on"
     )
+
+
+def _env_sanitize() -> bool:
+    return _env_flag("REPRO_SANITIZE")
+
+
+def _env_telemetry() -> bool:
+    return _env_flag("REPRO_TELEMETRY")
 
 
 class Simulator:
@@ -42,9 +50,20 @@ class Simulator:
         ``None`` (the default) defers to the ``REPRO_SANITIZE``
         environment variable.  The sanitizer observes only — a sanitized
         run is byte-identical to an unsanitized one.
+    telemetry:
+        Attach a :class:`~repro.telemetry.Telemetry` observer collecting
+        spans, counters, and wall-time accounting from every
+        instrumented layer (see ``docs/architecture.md``, "Telemetry &
+        profiling").  Pass ``True`` for a private instance, an existing
+        :class:`~repro.telemetry.Telemetry` to share one, or ``None``
+        (the default) to defer to ``REPRO_TELEMETRY`` — the environment
+        path attaches the *process-wide* instance so counters aggregate
+        across runs.  Telemetry observes only — instrumented runs are
+        byte-identical to uninstrumented ones.
     """
 
-    def __init__(self, strict: bool = True, sanitize: Optional[bool] = None):
+    def __init__(self, strict: bool = True, sanitize: Optional[bool] = None,
+                 telemetry=None):
         self._now: float = 0.0
         self._heap: list = []
         self._seq: int = 0
@@ -58,6 +77,19 @@ class Simulator:
             from ..simlint.sanitizer import SimSanitizer
 
             self.sanitizer = SimSanitizer()
+        self.telemetry = None
+        if telemetry is None:
+            if _env_telemetry():
+                # Imported lazily: telemetry is a layer above the core.
+                from ..telemetry import enable_process_telemetry
+
+                self.telemetry = enable_process_telemetry()
+        elif telemetry is True:
+            from ..telemetry import Telemetry
+
+            self.telemetry = Telemetry()
+        elif telemetry:  # an existing Telemetry instance
+            self.telemetry = telemetry
 
     # -- time --------------------------------------------------------
     @property
@@ -115,6 +147,8 @@ class Simulator:
         time, _seq, event = heappop(self._heap)
         if self.sanitizer is not None:
             self.sanitizer.on_pop(time, self._now, event)
+        if self.telemetry is not None:
+            self.telemetry.on_event_popped()
         self._now = time
         event._process()
 

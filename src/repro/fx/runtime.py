@@ -57,6 +57,12 @@ class FxCluster:
         (:class:`~repro.simlint.SimSanitizer`) to the cluster's
         simulator; ``None`` defers to the ``REPRO_SANITIZE`` environment
         variable.  Sanitized runs produce byte-identical traces.
+    telemetry:
+        Attach a :class:`~repro.telemetry.Telemetry` observer to the
+        cluster's simulator (``True`` for a private instance, an
+        existing instance to share one); ``None`` defers to the
+        ``REPRO_TELEMETRY`` environment variable.  Instrumented runs
+        produce byte-identical traces.
     """
 
     def __init__(
@@ -69,11 +75,12 @@ class FxCluster:
         tcp_kwargs: Optional[dict] = None,
         faults=None,
         sanitize: Optional[bool] = None,
+        telemetry=None,
     ):
         if n_machines < 2:
             raise ValueError("a cluster needs at least 2 machines")
         self.seed = seed
-        self.sim = Simulator(sanitize=sanitize)
+        self.sim = Simulator(sanitize=sanitize, telemetry=telemetry)
         self.faults: Optional[FaultPlan] = FaultPlan.coerce(faults)
         self.fault_injector: Optional[FaultInjector] = None
         if self.faults is not None:
@@ -174,6 +181,12 @@ class FxContext:
             self.runtime.phase_log.append(
                 (self.rank, self.sim.now, self.sim.now + duration)
             )
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.count("fx.compute_phases")
+            tel.complete("compute", "fx.program", f"rank{self.rank}",
+                         self.sim.now, self.sim.now + duration,
+                         rank=self.rank, work=work)
         return self.sim.timeout(duration)
 
     # -- point-to-point ---------------------------------------------------
@@ -283,20 +296,41 @@ class FxRuntime:
 
     def launch(self, program: FxProgram, iterations: int) -> List:
         """Start all rank processes; returns the process handles."""
-        return [
-            self.sim.process(
+        tel = self.sim.telemetry
+        procs = []
+        for ctx in self.contexts:
+            proc = self.sim.process(
                 program.run(ctx, iterations), name=f"{program.name}-rank{ctx.rank}"
             )
-            for ctx in self.contexts
-        ]
+            if tel is not None:
+                span = tel.begin(f"{program.name}-rank{ctx.rank}", "fx.program",
+                                 f"rank{ctx.rank}", self.sim.now,
+                                 rank=ctx.rank, iterations=iterations)
+                proc.callbacks.append(
+                    lambda _ev, _s=span: tel.end(_s, self.sim.now)
+                )
+            procs.append(proc)
+        return procs
 
     def execute(self, program: FxProgram, iterations: int) -> PacketTrace:
         """Run the program to completion and return the captured trace."""
+        tel = self.sim.telemetry
+        run_span = None
+        if tel is not None:
+            run_span = tel.begin(
+                f"run {program.name}", "harness.runner", "run",
+                self.sim.now, root=True,
+                program=program.name, nprocs=self.nprocs,
+                iterations=iterations, seed=self.cluster.seed,
+            )
         procs = self.launch(program, iterations)
         self.sim.run(until=self.sim.all_of(procs))
         if self.sim.sanitizer is not None:
             # End-of-run conservation: NicStats vs. the bus drop log.
             self.sim.sanitizer.verify_end_of_run()
+        if run_span is not None:
+            tel.end(run_span, self.sim.now)
+            tel.gauge("run.sim_seconds", self.sim.now)
         return self.cluster.trace()
 
 

@@ -47,6 +47,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..capture import PacketTrace, load_npz, save_npz_atomic, trace_digest
 from ..faults import FaultPlan
 from ..programs import run_measured
+from ..telemetry import maybe_count
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
@@ -268,12 +269,15 @@ class TraceStore:
         if trace is not None:
             self._lru.move_to_end(key)
             self.stats.memory_hits += 1
+            maybe_count("cache.memory_hits")
             return trace
         trace = self._disk_load(key)
         if trace is not None:
             self.stats.disk_hits += 1
+            maybe_count("cache.disk_hits")
         else:
             self.stats.misses += 1
+            maybe_count("cache.misses")
             trace = run_measured(name, scale=scale, seed=seed, **overrides)
             self._disk_store(key, trace)
         self._insert(key, trace)
@@ -299,6 +303,7 @@ class TraceStore:
         while len(self._lru) > self.capacity:
             self._lru.popitem(last=False)
             self.stats.evictions += 1
+            maybe_count("cache.evictions")
 
     # -- disk layer ----------------------------------------------------
     def _disk_path(self, key: TraceKey) -> Optional[Path]:
@@ -325,6 +330,7 @@ class TraceStore:
         try:
             path.rename(path.with_name(path.name + ".corrupt"))
             self.stats.quarantined += 1
+            maybe_count("cache.quarantined")
         except OSError:  # pragma: no cover - already renamed or gone
             pass
 
@@ -343,6 +349,7 @@ class TraceStore:
              "overrides": dict(key.overrides)},
         )
         self.stats.disk_writes += 1
+        maybe_count("cache.disk_writes")
 
     # -- maintenance ---------------------------------------------------
     def clear(self, disk: bool = False) -> int:

@@ -157,6 +157,10 @@ class EthernetBus:
             DropEvent(time=self.sim.now, reason=reason,
                       src=frame.src, dst=frame.dst, size=frame.size)
         )
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.count("net.frames_dropped")
+            tel.count(f"drops.{reason}")
 
     @property
     def capacity_bytes_per_s(self) -> float:
@@ -175,6 +179,13 @@ class EthernetBus:
         ``max_attempts`` collisions.
         """
         sim = self.sim
+        tel = sim.telemetry
+        span = None
+        if tel is not None:
+            tel.count("bus.frames_offered")
+            span = tel.begin(f"frame {frame.size}B", "net.medium",
+                             f"nic{frame.src}", sim.now,
+                             src=frame.src, dst=frame.dst, size=frame.size)
         attempt = 0
         while True:
             # Carrier sense: defer while the medium is busy.  The deadline
@@ -208,6 +219,8 @@ class EthernetBus:
             if w.members > 1 and not w.collided:
                 w.collided = True
                 self.stats.collisions += 1
+                if tel is not None:
+                    tel.count("bus.collisions")
 
             yield sim.timeout(self.contention_window)
 
@@ -231,8 +244,13 @@ class EthernetBus:
                 if self.max_attempts is not None and attempt >= self.max_attempts:
                     self.stats.frames_dropped += 1
                     self.record_drop("excess-collisions", frame)
+                    if span is not None:
+                        span.args["outcome"] = "excess-collisions"
+                        tel.end(span, sim.now)
                     return False
                 backoff = self.rng.randrange(0, 1 << min(attempt, 10))
+                if tel is not None:
+                    tel.count("bus.backoff_rounds")
                 yield sim.timeout(self.jam_time + backoff * self.slot_time)
                 continue
 
@@ -250,8 +268,16 @@ class EthernetBus:
                 if fate is not None:
                     self.stats.frames_dropped += 1
                     self.record_drop(fate, frame)
+                    if span is not None:
+                        span.args["outcome"] = fate
+                        span.args["attempts"] = attempt + 1
+                        tel.end(span, sim.now)
                     return True
             self._deliver(frame)
+            if span is not None:
+                span.args["outcome"] = "delivered"
+                span.args["attempts"] = attempt + 1
+                tel.end(span, sim.now)
             return True
 
     # -- delivery ---------------------------------------------------------
@@ -259,6 +285,10 @@ class EthernetBus:
         now = self.sim.now
         self.stats.frames_delivered += 1
         self.stats.bytes_delivered += frame.size
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.count("bus.frames_delivered")
+            tel.count("bus.bytes_delivered", frame.size)
         for listener in self._listeners:
             listener(frame, now)
         if frame.dst == BROADCAST:

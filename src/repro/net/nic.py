@@ -89,6 +89,10 @@ class Nic:
         depth = len(self._queue)
         if depth > self.stats.max_queue_depth:
             self.stats.max_queue_depth = depth
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.count("nic.frames_queued")
+            tel.gauge_max("nic.max_queue_depth", depth)
         return done
 
     @property
@@ -99,9 +103,13 @@ class Nic:
         while True:
             frame, done = yield self._queue.get()
             delivered = yield from self.bus.transmit(frame)
+            tel = self.sim.telemetry
             if delivered:
                 self.stats.frames_sent += 1
                 self.stats.bytes_sent += frame.size
+                if tel is not None:
+                    tel.count("nic.frames_sent")
+                    tel.count("nic.bytes_sent", frame.size)
             else:
                 self.stats.frames_dropped += 1
             done.succeed(delivered)

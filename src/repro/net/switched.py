@@ -113,10 +113,18 @@ class _OutputPort:
             if frame is None:  # pragma: no cover - defensive
                 continue
             tx = frame.wire_bits / link_bps
+            tel = sim.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(f"downlink {frame.size}B", "net.switched",
+                                 f"port{self.station_id}", sim.now,
+                                 src=frame.src, dst=frame.dst)
             yield sim.timeout(tx)
             self.queued_bytes -= frame.size
             self.fabric.stats.busy_time += tx
             self.fabric._deliver(frame, self.station_id)
+            if span is not None:
+                tel.end(span, sim.now)
 
 
 class SwitchedFabric:
@@ -155,6 +163,10 @@ class SwitchedFabric:
             DropEvent(time=self.sim.now, reason=reason,
                       src=frame.src, dst=frame.dst, size=frame.size)
         )
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.count("net.frames_dropped")
+            tel.count(f"drops.{reason}")
 
     # -- interface shared with EthernetBus ---------------------------------
     @property
@@ -184,8 +196,17 @@ class SwitchedFabric:
         the calling NIC serializes its own uplink.
         """
         sim = self.sim
+        tel = sim.telemetry
+        span = None
+        if tel is not None:
+            tel.count("bus.frames_offered")
+            span = tel.begin(f"uplink {frame.size}B", "net.switched",
+                             f"nic{frame.src}", sim.now,
+                             src=frame.src, dst=frame.dst, size=frame.size)
         yield sim.timeout(self.tx_time(frame))
         yield sim.timeout(self.switch_latency)
+        if span is not None:
+            tel.end(span, sim.now)
         if frame.dst == BROADCAST:
             for sid, port in self._ports.items():
                 if sid != frame.src:
@@ -241,6 +262,10 @@ class SwitchedFabric:
         now = self.sim.now
         self.stats.frames_delivered += 1
         self.stats.bytes_delivered += frame.size
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.count("bus.frames_delivered")
+            tel.count("bus.bytes_delivered", frame.size)
         for listener in self._listeners:
             listener(frame, now)
         rx = self._stations.get(dst_station)

@@ -55,6 +55,7 @@ def run_measured(
     cluster_kwargs: Optional[dict] = None,
     faults=None,
     sanitize: Optional[bool] = None,
+    telemetry=None,
     detail: Optional[dict] = None,
 ) -> PacketTrace:
     """Reproduce one of the paper's measurement runs.
@@ -83,6 +84,11 @@ def run_measured(
         raise :class:`~repro.simlint.SanitizerError` instead of silently
         corrupting the trace.  Does not change the trace bytes; ``None``
         defers to ``REPRO_SANITIZE``.
+    telemetry:
+        Attach a :class:`~repro.telemetry.Telemetry` observer to the
+        run (``True`` for a private instance, or an existing instance to
+        share one).  Does not change the trace bytes; ``None`` defers to
+        ``REPRO_TELEMETRY``.
     detail:
         Pass a dict to receive the run summary —
         :meth:`FxCluster.fault_report` plus ``retransmit_share`` — in
@@ -99,7 +105,8 @@ def run_measured(
             ) from None
     program = make_program(name, **(program_kwargs or {}))
     cluster = FxCluster(n_machines=nprocs + 1, seed=seed, faults=faults,
-                        sanitize=sanitize, **(cluster_kwargs or {}))
+                        sanitize=sanitize, telemetry=telemetry,
+                        **(cluster_kwargs or {}))
     runtime = FxRuntime(
         cluster, nprocs, work_model_for(name, seed=seed), route=route
     )

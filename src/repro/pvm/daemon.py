@@ -77,12 +77,17 @@ class PvmDaemon:
     # -- daemon route ----------------------------------------------------
     def forward(self, task_msg, dst_host: int) -> None:
         """Send a task message to the peer daemon on ``dst_host`` via UDP."""
+        tel = self.sim.telemetry
         if self._crashed(self.sim.now):
             self.drops += 1
             if self.fault_injector is not None:
                 self.fault_injector.daemon_drops += 1
+            if tel is not None:
+                tel.count("pvm.daemon_drops")
             return
         self.datagrams_routed += 1
+        if tel is not None:
+            tel.count("pvm.datagrams_routed")
         self.sock.sendto(
             task_msg.nbytes,
             dst_host=dst_host,
@@ -99,6 +104,9 @@ class PvmDaemon:
                 self.drops += 1
                 if self.fault_injector is not None:
                     self.fault_injector.daemon_drops += 1
+                tel = self.sim.telemetry
+                if tel is not None:
+                    tel.count("pvm.daemon_drops")
                 continue
             task_msg = dgram.obj
             if task_msg is None:
@@ -124,6 +132,7 @@ class PvmDaemon:
         )
         while True:
             if not self._crashed(self.sim.now):
+                tel = self.sim.telemetry
                 for peer in self.vm.machines:
                     if peer.stack.host_id != self.stack.host_id:
                         self.sock.sendto(
@@ -132,4 +141,6 @@ class PvmDaemon:
                             dst_port=PVMD_PORT,
                             obj=None,
                         )
+                        if tel is not None:
+                            tel.count("pvm.keepalives_sent")
             yield self.sim.timeout(self.keepalive_interval)

@@ -193,6 +193,24 @@ class VirtualMachine:
         transport — PVM's ``pvm_send`` semantics.
         """
         src.messages_sent += 1
+        tel = self.sim.telemetry
+        span = None
+        if tel is not None:
+            tel.count("pvm.messages_sent")
+            tel.count("pvm.message_bytes", message.data_bytes)
+            span = tel.begin(
+                f"pvm_send {message.data_bytes}B", "pvm.vm",
+                f"host{src.host_id}", self.sim.now,
+                src_task=src.tid, dst_task=dst.tid, route=route.value,
+            )
+        try:
+            yield from self._send_inner(src, dst, message, route)
+        finally:
+            if span is not None:
+                tel.end(span, self.sim.now)
+
+    def _send_inner(self, src: PvmTask, dst: PvmTask, message: PvmMessage,
+                    route: Route):
         if self.send_overhead > 0:
             yield self.sim.timeout(self.send_overhead)
         task_msg = TaskMessage(

@@ -1,0 +1,153 @@
+"""Chrome trace-event (Perfetto) export.
+
+Serializes a :class:`~repro.telemetry.Telemetry` instance into the
+Chrome trace-event JSON format, loadable by ``chrome://tracing`` and
+https://ui.perfetto.dev.  Two processes appear in the viewer:
+
+* ``pid 1 — simulation`` carries every span with simulation timestamps,
+  one named thread (track) per simulated entity: the run, each rank,
+  each NIC, each TCP pipe direction, each switch port.  Timestamps are
+  simulation microseconds, so the viewer's timeline *is* the simulated
+  clock.
+* ``pid 2 — harness`` carries wall-clock spans recorded outside a live
+  simulation (trace-store production, analysis stages), timed relative
+  to the telemetry instance's wall epoch.
+
+Final counter and gauge values ride in ``otherData`` (the trace-event
+format's free-form metadata section), so the numbers behind a track are
+one click away in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .core import Telemetry
+
+__all__ = ["chrome_trace", "write_chrome", "validate_chrome_trace"]
+
+#: pid for spans on the simulated timeline vs. the harness wall timeline.
+SIM_PID = 1
+WALL_PID = 2
+
+#: Trace-event phase codes used by the exporter.
+_PH_COMPLETE = "X"
+_PH_METADATA = "M"
+
+
+def chrome_trace(tel: Telemetry, label: Optional[str] = None) -> dict:
+    """The trace-event document for one telemetry instance."""
+    events: List[dict] = []
+    track_ids: Dict[str, int] = {}
+
+    def tid_for(track: str, pid: int) -> int:
+        tid = track_ids.get(track)
+        if tid is None:
+            tid = len(track_ids) + 1
+            track_ids[track] = tid
+            events.append({
+                "ph": _PH_METADATA, "name": "thread_name",
+                "pid": pid, "tid": tid, "args": {"name": track},
+            })
+        return tid
+
+    for pid, name in ((SIM_PID, "simulation (sim time)"),
+                      (WALL_PID, "harness (wall time)")):
+        events.append({
+            "ph": _PH_METADATA, "name": "process_name",
+            "pid": pid, "tid": 0, "args": {"name": name},
+        })
+
+    for span in tel.spans:
+        args = dict(span.args) if span.args else {}
+        if span.wall_duration is not None:
+            args["wall_ms"] = round(span.wall_duration * 1e3, 6)
+        if span.sim_start is not None:
+            ts = span.sim_start * 1e6
+            sim_end = span.sim_end if span.sim_end is not None else span.sim_start
+            dur = max(0.0, (sim_end - span.sim_start) * 1e6)
+            pid = SIM_PID
+        else:
+            ts = (span.wall_start - tel.wall_epoch) * 1e6
+            wall_end = (span.wall_end if span.wall_end is not None
+                        else span.wall_start)
+            dur = max(0.0, (wall_end - span.wall_start) * 1e6)
+            pid = WALL_PID
+        if span.sim_end is None and span.wall_end is None:
+            args["unfinished"] = True
+        events.append({
+            "ph": _PH_COMPLETE,
+            "name": span.name,
+            "cat": span.category or "span",
+            "ts": ts,
+            "dur": dur,
+            "pid": pid,
+            "tid": tid_for(span.track or "default", pid),
+            "args": args,
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": label if label is not None else tel.label,
+            "counters": {k: tel.counters[k] for k in sorted(tel.counters)},
+            "gauges": {k: tel.gauges[k] for k in sorted(tel.gauges)},
+        },
+    }
+
+
+def write_chrome(tel: Telemetry, path, label: Optional[str] = None) -> dict:
+    """Write the trace-event JSON to ``path``; returns the document."""
+    doc = chrome_trace(tel, label=label)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+def validate_chrome_trace(doc) -> List[str]:
+    """Structural validation against the trace-event format.
+
+    Returns a list of problems (empty = valid).  Checks the constraints
+    the viewers actually rely on: the ``traceEvents`` array, a phase per
+    event, and — per phase — the required name/timestamp/duration/
+    process/thread fields with sane types.  Used by the test suite and
+    the CI profile-smoke job.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array traceEvents"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            errors.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int):
+            errors.append(f"{where}: missing pid")
+        if ph == _PH_METADATA:
+            if not isinstance(ev.get("args"), dict):
+                errors.append(f"{where}: metadata event without args")
+            continue
+        if ph == _PH_COMPLETE:
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: bad dur {dur!r}")
+            if not isinstance(ev.get("tid"), int):
+                errors.append(f"{where}: missing tid")
+            if not isinstance(ev.get("cat"), str):
+                errors.append(f"{where}: missing cat")
+            continue
+        errors.append(f"{where}: unexpected phase {ph!r}")
+    return errors

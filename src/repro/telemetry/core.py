@@ -1,0 +1,316 @@
+"""Telemetry core: spans, counters, gauges, and wall-time accounting.
+
+A :class:`Telemetry` instance rides along with a simulation the same way
+the runtime sanitizer does: components call its hooks when the driving
+simulator carries one (``sim.telemetry is not None``), and the disabled
+cost of every instrumentation point is a single attribute check.  Like
+the sanitizer, telemetry is strictly an **observer** — it creates no
+events, draws no random numbers, and keeps all bookkeeping outside
+simulation state, so an instrumented run produces byte-identical traces
+to an uninstrumented one (enforced by golden-digest tests).
+
+Three kinds of measurement are collected:
+
+* **spans** — named intervals keyed by *both* simulation time and wall
+  time, carrying a category (the subsystem) and a track (the simulated
+  entity: ``run``, ``rank2``, ``nic1``, ``tcp 1->2``, ``port0``, ...).
+  The span taxonomy — run → program phase → bus transaction → TCP
+  segment — is documented in ``docs/architecture.md``.
+* **counters / gauges** — monotone event counts (events popped, frames
+  offered/delivered/dropped, collisions, backoff rounds, retransmits,
+  cache hits, bytes per connection) and last/max-value gauges.
+* **wall accounting** — wall-clock self time per simulation process,
+  recorded around every process resume; the profiler aggregates it into
+  a per-subsystem hot-path breakdown.
+
+Wall-clock readings come from an injectable ``clock`` callable (default
+``time.perf_counter``); they are recorded next to simulation state,
+never fed into it, which is why telemetry cannot perturb determinism.
+
+This module deliberately imports nothing from the simulation packages —
+the DES core imports *it* lazily, so there is no cycle.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Telemetry",
+    "TELEMETRY_ENV_VAR",
+    "subsystem_of",
+    "process_telemetry",
+    "enable_process_telemetry",
+    "disable_process_telemetry",
+    "maybe_count",
+]
+
+#: Environment switch: set REPRO_TELEMETRY=1 to attach the process-wide
+#: telemetry instance to every simulator the process builds.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+#: The wall clock used when none is injected.  Telemetry measures wall
+#: time by design; readings are recorded beside simulation state and
+#: never fed back into it (the determinism contract's carve-out for
+#: observer-only instrumentation).
+_WALL_CLOCK = time.perf_counter
+
+#: Process-name → subsystem rules for the profiler's hot-path table.
+#: Ordered; first match wins.  The MAC procedure of the shared bus runs
+#: inside the owning NIC's tx process, so ``net.nic`` self time covers
+#: both the adapter queue and the CSMA/CD machinery it drives.
+_SUBSYSTEM_RULES = (
+    (re.compile(r"^nic\d+-tx$"), "net.nic"),
+    (re.compile(r"^tcp-"), "transport.tcp"),
+    (re.compile(r"^pvmd\d+-"), "pvm.daemon"),
+    (re.compile(r"^pvm-dispatch$"), "pvm.vm"),
+    (re.compile(r"^port\d+$"), "net.switched"),
+    (re.compile(r"-rank\d+$"), "fx.program"),
+)
+
+
+def subsystem_of(process_name: str) -> str:
+    """The subsystem bucket a simulation process's wall time belongs to."""
+    for pattern, subsystem in _SUBSYSTEM_RULES:
+        if pattern.search(process_name):
+            return subsystem
+    return "des.other"
+
+
+class Span:
+    """One named interval on one track.
+
+    ``sim_start``/``sim_end`` are simulation seconds (``None`` for
+    harness-level spans recorded outside a live simulation);
+    ``wall_start``/``wall_end`` are wall seconds from the telemetry
+    instance's clock.  ``parent_id`` is the span open on the same track
+    when this one began (or the run root), giving the hierarchy
+    run → program phase → bus transaction → TCP segment.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "category", "track",
+                 "sim_start", "sim_end", "wall_start", "wall_end", "args")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 category: str, track: str, sim_start: Optional[float],
+                 wall_start: float, args: Optional[dict]):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.track = track
+        self.sim_start = sim_start
+        self.sim_end: Optional[float] = None
+        self.wall_start = wall_start
+        self.wall_end: Optional[float] = None
+        self.args = args
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    @property
+    def wall_duration(self) -> Optional[float]:
+        if self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (f"<Span {self.name!r} cat={self.category} track={self.track} "
+                f"sim=[{self.sim_start}, {self.sim_end}]>")
+
+
+class Telemetry:
+    """Counters, gauges, spans, and wall accounting for one (or more) runs.
+
+    Parameters
+    ----------
+    label:
+        Free-form identification carried into exports.
+    clock:
+        Wall-clock callable; injectable so tests can drive deterministic
+        wall timestamps.
+    max_spans:
+        Retention cap: spans beyond it are counted
+        (``telemetry.spans_dropped``) but not stored, bounding memory on
+        full-scale runs.
+    """
+
+    def __init__(self, label: str = "", clock: Optional[Callable[[], float]] = None,
+                 max_spans: int = 1_000_000):
+        if max_spans < 0:
+            raise ValueError(f"max_spans must be >= 0, got {max_spans}")
+        self.label = label
+        self.clock: Callable[[], float] = clock if clock is not None else _WALL_CLOCK
+        self.max_spans = max_spans
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.spans: List[Span] = []
+        #: process name -> [resumes, wall seconds] (profiler input).
+        self.wall_by_process: Dict[str, List[float]] = {}
+        self.wall_epoch = self.clock()
+        self._next_span_id = 0
+        self._open_by_track: Dict[str, List[Span]] = {}
+        self._root: Optional[Span] = None
+
+    # -- counters / gauges --------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment a monotone counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a gauge's latest value."""
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Record a gauge as the maximum value ever seen."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    # -- spans ---------------------------------------------------------
+    def begin(self, name: str, category: str, track: str,
+              sim_time: Optional[float] = None, root: bool = False,
+              **args: Any) -> Span:
+        """Open a span on ``track`` at ``sim_time`` (and wall now)."""
+        self._next_span_id += 1
+        stack = self._open_by_track.setdefault(track, [])
+        if stack:
+            parent_id: Optional[int] = stack[-1].span_id
+        elif self._root is not None and not root:
+            parent_id = self._root.span_id
+        else:
+            parent_id = None
+        span = Span(self._next_span_id, parent_id, name, category, track,
+                    sim_time, self.clock(), args or None)
+        stack.append(span)
+        if root:
+            self._root = span
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.count("telemetry.spans_dropped")
+        return span
+
+    def end(self, span: Span, sim_time: Optional[float] = None) -> Span:
+        """Close a span (idempotent on the track stack)."""
+        span.sim_end = sim_time
+        span.wall_end = self.clock()
+        stack = self._open_by_track.get(span.track)
+        if stack is not None:
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        if self._root is span:
+            self._root = None
+        return span
+
+    def complete(self, name: str, category: str, track: str,
+                 sim_start: Optional[float], sim_end: Optional[float],
+                 **args: Any) -> Span:
+        """Record a span whose bounds are already known (zero wall width)."""
+        span = self.begin(name, category, track, sim_start, **args)
+        self.end(span, sim_end)
+        return span
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but not yet ended, across all tracks."""
+        return [s for stack in self._open_by_track.values() for s in stack]
+
+    # -- hot hooks -----------------------------------------------------
+    def on_event_popped(self) -> None:
+        """One heap pop in ``Simulator.step`` (the hottest hook)."""
+        self.counters["des.events_popped"] = \
+            self.counters.get("des.events_popped", 0) + 1
+
+    def wall_account(self, process_name: str, seconds: float) -> None:
+        """Attribute one process resume's wall time to its process."""
+        entry = self.wall_by_process.get(process_name)
+        if entry is None:
+            self.wall_by_process[process_name] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    # -- aggregation ---------------------------------------------------
+    def wall_by_subsystem(self) -> Dict[str, List[float]]:
+        """``wall_by_process`` folded through :func:`subsystem_of`."""
+        out: Dict[str, List[float]] = {}
+        for name, (calls, seconds) in self.wall_by_process.items():
+            bucket = out.setdefault(subsystem_of(name), [0, 0.0])
+            bucket[0] += calls
+            bucket[1] += seconds
+        return out
+
+    def spans_by_category(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for span in self.spans:
+            out[span.category] = out.get(span.category, 0) + 1
+        return out
+
+    def merge_from(self, other: "Telemetry") -> None:
+        """Fold another instance's counters/gauges/wall into this one.
+
+        Spans are not merged (their sim timelines are per-run); use a
+        shared instance when one Chrome trace should cover several runs.
+        """
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, value in other.gauges.items():
+            self.gauge_max(name, value)
+        for name, (calls, seconds) in other.wall_by_process.items():
+            entry = self.wall_by_process.setdefault(name, [0, 0.0])
+            entry[0] += calls
+            entry[1] += seconds
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (f"<Telemetry {self.label!r} spans={len(self.spans)} "
+                f"counters={len(self.counters)}>")
+
+
+# -- process-wide instance ------------------------------------------------
+#: The shared instance attached by ``REPRO_TELEMETRY=1`` / ``--telemetry``
+#: so counters aggregate across every simulator a process builds (the
+#: experiments harness runs many).  ``repro profile`` uses a private
+#: instance instead, so its spans cover exactly one run.
+_PROCESS_TELEMETRY: Optional[Telemetry] = None
+
+
+def process_telemetry() -> Optional[Telemetry]:
+    """The process-wide telemetry instance, or ``None`` when disabled."""
+    return _PROCESS_TELEMETRY
+
+
+def enable_process_telemetry(tel: Optional[Telemetry] = None) -> Telemetry:
+    """Install (or return the existing) process-wide telemetry instance."""
+    global _PROCESS_TELEMETRY
+    if tel is not None:
+        _PROCESS_TELEMETRY = tel
+    elif _PROCESS_TELEMETRY is None:
+        _PROCESS_TELEMETRY = Telemetry(label="process")
+    return _PROCESS_TELEMETRY
+
+
+def disable_process_telemetry() -> Optional[Telemetry]:
+    """Detach and return the process-wide instance (for tests/CLI)."""
+    global _PROCESS_TELEMETRY
+    tel, _PROCESS_TELEMETRY = _PROCESS_TELEMETRY, None
+    return tel
+
+
+def maybe_count(name: str, value: float = 1) -> None:
+    """Bump a process-wide counter iff process telemetry is enabled.
+
+    The disabled cost is one global read and a ``None`` check, so
+    harness-layer components (the trace store, ``get_trace``) call this
+    unconditionally.
+    """
+    tel = _PROCESS_TELEMETRY
+    if tel is not None:
+        tel.count(name, value)

@@ -286,9 +286,27 @@ class TcpPipe:
             self._snd_nxt += data_len
             self.segments_sent += 1
             self.bytes_sent += data_len
+            tel = sim.telemetry
+            span = None
+            if tel is not None:
+                tel.count("tcp.segments_sent")
+                tel.count("tcp.bytes_sent", data_len)
+                tel.count(
+                    f"conn.{self.src_stack.host_id}->"
+                    f"{self.dst_stack.host_id}.bytes",
+                    data_len,
+                )
+                span = tel.begin(
+                    f"seg {data_len}B", "transport.tcp",
+                    f"tcp {self.src_stack.host_id}->{self.dst_stack.host_id}",
+                    sim.now, seq=seg.seq, retransmit=retransmit,
+                )
             if retransmit:
                 self.retransmits += 1
                 self.bytes_retransmitted += data_len
+                if tel is not None:
+                    tel.count("tcp.retransmits")
+                    tel.count("tcp.bytes_retransmitted", data_len)
             elif self.loss_recovery:
                 if self._rtt_pending is None:
                     # Karn: time only first transmissions.
@@ -303,6 +321,8 @@ class TcpPipe:
             # full segments whenever they outpace the medium, which is the
             # stream behaviour behind the paper's packet-size shapes.
             yield self.src_stack.emit(self.dst_stack.host_id, seg)
+            if span is not None:
+                tel.end(span, sim.now)
 
     # -- RTO machinery (sender side, loss_recovery only) ----------------
     def _restart_rto(self) -> None:
@@ -333,6 +353,9 @@ class TcpPipe:
             self._cancel_rto()
             return
         self.timeouts += 1
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.count("tcp.rto_timeouts")
         # Exponential backoff (Karn); the next successful RTT sample
         # recomputes the estimate.
         self._rto = min(self._rto * 2.0, self.rto_max)
@@ -434,6 +457,9 @@ class TcpPipe:
         if self.sim.sanitizer is not None:
             self.sim.sanitizer.on_tcp_ack(self, ack.ack_no)
         self.acks_sent += 1
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.count("tcp.acks_sent")
         self.dst_stack.emit(self.src_stack.host_id, ack)
 
     # -- ACK arrival (back on sender side) -------------------------------
@@ -464,6 +490,9 @@ class TcpPipe:
                     and self._snd_una >= self._recover):
                 # Fast retransmit: resend from the cumulative-ACK point.
                 self.fast_retransmits += 1
+                tel = self.sim.telemetry
+                if tel is not None:
+                    tel.count("tcp.fast_retransmits")
                 self._recover = self._snd_max
                 self._rtt_pending = None  # Karn: sample is now tainted
                 self._snd_nxt = self._snd_una

@@ -1,0 +1,90 @@
+"""Dedicated unit tests for the Hurst-exponent estimators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hurst_aggregated_variance, hurst_rs
+
+
+def white_noise(n=8192, seed=0):
+    return np.random.default_rng(seed).normal(0.0, 1.0, n)
+
+
+def random_walk(n=8192, seed=0):
+    # Cumulative sums are maximally persistent: both estimators should
+    # report H near 1.
+    return np.cumsum(white_noise(n, seed))
+
+
+def antipersistent(n=8192, seed=0):
+    # Differencing white noise produces negatively correlated increments:
+    # H below 0.5.
+    return np.diff(white_noise(n + 1, seed))
+
+
+class TestAggregatedVariance:
+    def test_white_noise_near_half(self):
+        h = hurst_aggregated_variance(white_noise())
+        assert 0.35 < h < 0.65
+
+    def test_random_walk_near_one(self):
+        assert hurst_aggregated_variance(random_walk()) > 0.85
+
+    def test_antipersistent_below_half(self):
+        assert hurst_aggregated_variance(antipersistent()) < 0.4
+
+    def test_result_clipped_to_unit_interval(self):
+        h = hurst_aggregated_variance(random_walk(n=4096, seed=3))
+        assert 0.0 <= h <= 1.0
+
+    def test_seed_independence_of_regime(self):
+        hs = [hurst_aggregated_variance(white_noise(seed=s)) for s in range(5)]
+        assert all(0.3 < h < 0.7 for h in hs)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError, match="too short"):
+            hurst_aggregated_variance(white_noise(n=16))
+
+    def test_constant_series_has_no_usable_scales(self):
+        with pytest.raises(ValueError, match="usable scales"):
+            hurst_aggregated_variance(np.ones(4096))
+
+
+class TestRescaledRange:
+    def test_white_noise_near_half(self):
+        # R/S is biased high on finite samples; Lo's classic correction is
+        # out of scope, so accept the documented finite-sample band.
+        h = hurst_rs(white_noise())
+        assert 0.4 < h < 0.7
+
+    def test_random_walk_near_one(self):
+        assert hurst_rs(random_walk()) > 0.85
+
+    def test_ordering_separates_the_three_regimes(self):
+        h_anti = hurst_rs(antipersistent())
+        h_noise = hurst_rs(white_noise())
+        h_walk = hurst_rs(random_walk())
+        assert h_anti < h_noise < h_walk
+
+    def test_result_clipped_to_unit_interval(self):
+        assert 0.0 <= hurst_rs(random_walk(seed=7)) <= 1.0
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError, match="too short"):
+            hurst_rs(white_noise(n=32))
+
+    def test_constant_series_has_no_usable_scales(self):
+        with pytest.raises(ValueError, match="usable scales"):
+            hurst_rs(np.zeros(4096))
+
+    def test_accepts_list_input(self):
+        h = hurst_rs(list(white_noise(n=2048)))
+        assert 0.0 <= h <= 1.0
+
+
+class TestEstimatorAgreement:
+    def test_estimators_agree_on_persistence_ordering(self):
+        x_noise, x_walk = white_noise(seed=11), random_walk(seed=11)
+        assert (hurst_aggregated_variance(x_walk)
+                > hurst_aggregated_variance(x_noise))
+        assert hurst_rs(x_walk) > hurst_rs(x_noise)

@@ -1,0 +1,102 @@
+"""Dedicated unit tests for packet-size modality detection."""
+
+import pytest
+
+from repro.analysis import is_trimodal, mode_fractions, size_modes
+from repro.capture import PacketTrace
+
+
+def trace_of_sizes(sizes):
+    return PacketTrace.from_rows(
+        (0.001 * i, size, 0, 1, 6, 1) for i, size in enumerate(sizes)
+    )
+
+
+def trimodal_sizes(n_full=60, n_rem=25, n_ack=40,
+                   full=1518, rem=560, ack=58):
+    return [full] * n_full + [rem] * n_rem + [ack] * n_ack
+
+
+class TestSizeModes:
+    def test_empty_trace_has_no_modes(self):
+        assert size_modes(PacketTrace.empty()) == []
+
+    def test_modes_sorted_by_descending_count(self):
+        modes = size_modes(trace_of_sizes(trimodal_sizes()))
+        counts = [c for _, c in modes]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_finds_the_three_planted_modes(self):
+        modes = size_modes(trace_of_sizes(trimodal_sizes()))
+        assert {s for s, _ in modes} == {1518, 560, 58}
+        assert dict(modes)[1518] == 60
+
+    def test_min_fraction_filters_rare_sizes(self):
+        sizes = trimodal_sizes() + [999]  # one packet: below any threshold
+        modes = size_modes(trace_of_sizes(sizes), min_fraction=0.02)
+        assert 999 not in {s for s, _ in modes}
+
+    def test_nearby_sizes_merge_into_the_larger_mode(self):
+        # Remainders jittering by a few header bytes count as one mode.
+        sizes = [1518] * 50 + [560] * 20 + [572] * 10 + [58] * 30
+        modes = size_modes(trace_of_sizes(sizes), merge_within=48)
+        merged = dict(modes)
+        assert 560 in merged and 572 not in merged
+        assert merged[560] == 30
+
+    def test_merge_window_zero_keeps_sizes_distinct(self):
+        sizes = [1518] * 50 + [560] * 20 + [572] * 20 + [58] * 30
+        modes = size_modes(trace_of_sizes(sizes), merge_within=0)
+        assert {560, 572} <= {s for s, _ in modes}
+
+
+class TestIsTrimodal:
+    def test_classic_full_remainder_ack_shape(self):
+        assert is_trimodal(trace_of_sizes(trimodal_sizes()))
+
+    def test_two_modes_are_not_trimodal(self):
+        sizes = [1518] * 60 + [58] * 40
+        assert not is_trimodal(trace_of_sizes(sizes))
+
+    def test_four_modes_are_not_trimodal(self):
+        sizes = [1518] * 60 + [800] * 30 + [400] * 30 + [58] * 40
+        assert not is_trimodal(trace_of_sizes(sizes))
+
+    def test_three_modes_without_an_ack_population(self):
+        sizes = [1518] * 60 + [800] * 30 + [400] * 30
+        assert not is_trimodal(trace_of_sizes(sizes))
+
+    def test_three_modes_without_a_full_segment_population(self):
+        sizes = [1100] * 60 + [560] * 30 + [58] * 40
+        assert not is_trimodal(trace_of_sizes(sizes))
+
+    def test_empty_trace_is_not_trimodal(self):
+        assert not is_trimodal(PacketTrace.empty())
+
+
+class TestModeFractions:
+    def test_fractions_sum_to_one_when_all_sizes_survive(self):
+        fractions = mode_fractions(trace_of_sizes(trimodal_sizes()))
+        assert sum(f for _, f in fractions) == pytest.approx(1.0)
+
+    def test_fraction_values_match_population(self):
+        fractions = dict(mode_fractions(trace_of_sizes(trimodal_sizes(
+            n_full=50, n_rem=25, n_ack=25))))
+        assert fractions[1518] == pytest.approx(0.5)
+        assert fractions[560] == pytest.approx(0.25)
+
+    def test_empty_trace_yields_no_fractions(self):
+        assert mode_fractions(PacketTrace.empty()) == []
+
+
+class TestOnSimulatedTraffic:
+    def test_sor_smoke_trace_is_trimodal(self):
+        # The paper's §6.1 observation, on an actual simulated run: SOR's
+        # copy-loop messages produce full segments + one remainder + ACKs.
+        from repro.harness import get_trace
+
+        trace = get_trace("sor", scale="smoke")
+        modes = size_modes(trace)
+        assert is_trimodal(trace), f"modes: {modes}"
+        sizes = sorted(s for s, _ in modes)
+        assert sizes[0] <= 90 and sizes[-1] >= 1400

@@ -1,0 +1,105 @@
+"""Dedicated unit tests for short-time spectral analysis (spectrogram)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BandwidthSeries
+from repro.analysis.spectrogram import Spectrogram, spectrogram
+
+
+def tone_series(freq, fs=100.0, duration=20.0, amp=1.0, offset=10.0):
+    t = np.arange(0, duration, 1.0 / fs)
+    return BandwidthSeries(0.0, 1.0 / fs, offset + amp * np.sin(2 * np.pi * freq * t))
+
+
+class TestSpectrogramShape:
+    def test_axes_match_power_shape(self):
+        sg = spectrogram(tone_series(5.0), window=2.0)
+        assert sg.power.shape == (len(sg.freqs), len(sg.times))
+
+    def test_window_centres_lie_inside_series(self):
+        series = tone_series(5.0, duration=20.0)
+        sg = spectrogram(series, window=2.0)
+        assert sg.times[0] == pytest.approx(1.0)
+        assert np.all(sg.times <= series.t0 + series.duration)
+        assert np.all(np.diff(sg.times) > 0)
+
+    def test_overlap_increases_window_count(self):
+        series = tone_series(5.0)
+        sparse = spectrogram(series, window=2.0, overlap=0.0)
+        dense = spectrogram(series, window=2.0, overlap=0.75)
+        assert len(dense.times) > len(sparse.times)
+
+    def test_freqs_span_zero_to_nyquist(self):
+        series = tone_series(5.0, fs=100.0)
+        sg = spectrogram(series, window=2.0)
+        assert sg.freqs[0] == 0.0
+        assert sg.freqs[-1] == pytest.approx(50.0)
+
+
+class TestSpectrogramContent:
+    def test_pure_tone_peaks_at_its_frequency(self):
+        sg = spectrogram(tone_series(5.0), window=4.0)
+        for j in range(len(sg.times)):
+            peak = sg.freqs[np.argmax(sg.power[1:, j]) + 1]
+            assert peak == pytest.approx(5.0, abs=1.0 / 4.0)
+
+    def test_localizes_a_transient_burst_in_time(self):
+        # A 10 Hz tone only during the first half: its band power must be
+        # concentrated in the early windows.
+        fs, duration = 100.0, 40.0
+        t = np.arange(0, duration, 1.0 / fs)
+        x = np.where(t < duration / 2, np.sin(2 * np.pi * 10.0 * t), 0.0)
+        sg = spectrogram(BandwidthSeries(0.0, 1.0 / fs, x), window=4.0)
+        band = sg.band_power(9.0, 11.0)
+        early = band[sg.times < duration / 2 - 2.0]
+        late = band[sg.times > duration / 2 + 2.0]
+        assert early.mean() > 100 * max(late.mean(), 1e-12)
+
+    def test_detrend_suppresses_dc(self):
+        sg = spectrogram(tone_series(5.0, offset=1000.0), window=2.0,
+                         detrend=True)
+        sg_raw = spectrogram(tone_series(5.0, offset=1000.0), window=2.0,
+                             detrend=False)
+        assert sg.power[0].max() < sg_raw.power[0].min()
+
+    def test_band_power_splits_two_tones(self):
+        fs = 100.0
+        t = np.arange(0, 20.0, 1.0 / fs)
+        x = np.sin(2 * np.pi * 5.0 * t) + 3.0 * np.sin(2 * np.pi * 15.0 * t)
+        sg = spectrogram(BandwidthSeries(0.0, 1.0 / fs, x), window=4.0)
+        low = sg.band_power(4.0, 6.0).sum()
+        high = sg.band_power(14.0, 16.0).sum()
+        assert high > 5 * low > 0
+
+
+class TestSpectrogramValidation:
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            spectrogram(tone_series(5.0), window=0.0)
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            spectrogram(tone_series(5.0), window=2.0, overlap=1.0)
+        with pytest.raises(ValueError, match="overlap"):
+            spectrogram(tone_series(5.0), window=2.0, overlap=-0.1)
+
+    def test_rejects_window_shorter_than_four_samples(self):
+        with pytest.raises(ValueError, match="too short"):
+            spectrogram(tone_series(5.0, fs=100.0), window=0.02)
+
+    def test_rejects_window_longer_than_series(self):
+        with pytest.raises(ValueError, match="longer than the series"):
+            spectrogram(tone_series(5.0, duration=2.0), window=10.0)
+
+
+class TestSpectrogramRepr:
+    def test_band_power_empty_band_is_zero(self):
+        sg = spectrogram(tone_series(5.0), window=2.0)
+        assert np.allclose(sg.band_power(45.0, 45.0), 0.0)
+
+    def test_dataclass_fields_roundtrip(self):
+        sg = spectrogram(tone_series(5.0), window=2.0)
+        clone = Spectrogram(times=sg.times, freqs=sg.freqs, power=sg.power)
+        assert np.array_equal(clone.band_power(0.0, 50.0),
+                              sg.band_power(0.0, 50.0))

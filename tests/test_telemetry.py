@@ -1,0 +1,417 @@
+"""Tests for the telemetry subsystem: spans, counters, exporters, profile.
+
+The contract under test (docs/architecture.md, "Telemetry & profiling"):
+telemetry observes only — enabled runs are byte-identical to disabled
+ones — and its counters must reconcile exactly with the simulation's own
+``BusStats``/``NicStats``/TCP ledgers.
+"""
+
+import json
+
+import pytest
+
+from repro.capture import trace_digest
+from repro.des import Simulator
+from repro.programs import run_measured
+from repro.telemetry import (
+    Telemetry,
+    chrome_trace,
+    disable_process_telemetry,
+    enable_process_telemetry,
+    format_profile,
+    maybe_count,
+    metrics_snapshot,
+    process_telemetry,
+    profile_program,
+    subsystem_of,
+    validate_chrome_trace,
+    write_chrome,
+    write_metrics,
+)
+
+
+class FakeClock:
+    """Deterministic wall clock: each reading advances by ``step``."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def _no_process_telemetry(monkeypatch):
+    """Keep the process-wide singleton and env switch out of every test."""
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    disable_process_telemetry()
+    yield
+    disable_process_telemetry()
+
+
+# -- core -------------------------------------------------------------
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tel = Telemetry(clock=FakeClock())
+        tel.count("x")
+        tel.count("x", 4)
+        assert tel.counters["x"] == 5
+
+    def test_gauge_keeps_latest(self):
+        tel = Telemetry(clock=FakeClock())
+        tel.gauge("depth", 3)
+        tel.gauge("depth", 1)
+        assert tel.gauges["depth"] == 1
+
+    def test_gauge_max_keeps_maximum(self):
+        tel = Telemetry(clock=FakeClock())
+        tel.gauge_max("depth", 3)
+        tel.gauge_max("depth", 1)
+        tel.gauge_max("depth", 7)
+        assert tel.gauges["depth"] == 7
+
+
+class TestSpans:
+    def test_begin_end_records_both_timelines(self):
+        tel = Telemetry(clock=FakeClock(step=0.5))
+        span = tel.begin("frame", "net.medium", "nic0", sim_time=1.0)
+        tel.end(span, sim_time=3.0)
+        assert span.sim_duration == pytest.approx(2.0)
+        assert span.wall_duration == pytest.approx(0.5)
+
+    def test_nesting_on_one_track_sets_parent(self):
+        tel = Telemetry(clock=FakeClock())
+        outer = tel.begin("outer", "fx", "rank0", sim_time=0.0)
+        inner = tel.begin("inner", "fx", "rank0", sim_time=1.0)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        tel.end(inner, 2.0)
+        tel.end(outer, 3.0)
+        assert tel.open_spans() == []
+
+    def test_root_span_adopts_orphan_tracks(self):
+        tel = Telemetry(clock=FakeClock())
+        run = tel.begin("run", "harness", "run", sim_time=0.0, root=True)
+        frame = tel.begin("frame", "net", "nic1", sim_time=0.5)
+        assert frame.parent_id == run.span_id
+
+    def test_complete_is_closed_immediately(self):
+        tel = Telemetry(clock=FakeClock())
+        span = tel.complete("compute", "fx", "rank1", 1.0, 4.0, rank=1)
+        assert span.sim_duration == pytest.approx(3.0)
+        assert tel.open_spans() == []
+        assert span.args["rank"] == 1
+
+    def test_max_spans_cap_counts_drops(self):
+        tel = Telemetry(clock=FakeClock(), max_spans=2)
+        for i in range(5):
+            tel.complete(f"s{i}", "c", "t", 0.0, 1.0)
+        assert len(tel.spans) == 2
+        assert tel.counters["telemetry.spans_dropped"] == 3
+
+
+class TestWallAccounting:
+    def test_wall_account_aggregates_per_process(self):
+        tel = Telemetry(clock=FakeClock())
+        tel.wall_account("nic0-tx", 0.25)
+        tel.wall_account("nic0-tx", 0.25)
+        tel.wall_account("sor-rank0", 1.0)
+        assert tel.wall_by_process["nic0-tx"] == [2, 0.5]
+        by_sub = tel.wall_by_subsystem()
+        assert by_sub["net.nic"] == [2, 0.5]
+        assert by_sub["fx.program"] == [1, 1.0]
+
+    def test_subsystem_rules(self):
+        assert subsystem_of("nic3-tx") == "net.nic"
+        assert subsystem_of("tcp-sender") == "transport.tcp"
+        assert subsystem_of("tcp-rto") == "transport.tcp"
+        assert subsystem_of("pvmd2-rx") == "pvm.daemon"
+        assert subsystem_of("pvm-dispatch") == "pvm.vm"
+        assert subsystem_of("port4") == "net.switched"
+        assert subsystem_of("sor-rank2") == "fx.program"
+        assert subsystem_of("anything-else") == "des.other"
+
+
+class TestMerge:
+    def test_merge_folds_counters_gauges_and_wall(self):
+        a = Telemetry(clock=FakeClock())
+        b = Telemetry(clock=FakeClock())
+        a.count("x", 2)
+        b.count("x", 3)
+        b.gauge_max("depth", 9)
+        b.wall_account("nic0-tx", 0.5)
+        a.merge_from(b)
+        assert a.counters["x"] == 5
+        assert a.gauges["depth"] == 9
+        assert a.wall_by_process["nic0-tx"] == [1, 0.5]
+
+
+class TestProcessSingleton:
+    def test_disabled_by_default(self):
+        assert process_telemetry() is None
+
+    def test_maybe_count_is_noop_when_disabled(self):
+        maybe_count("cache.misses")
+        assert process_telemetry() is None
+
+    def test_enable_then_count(self):
+        tel = enable_process_telemetry()
+        maybe_count("cache.misses", 2)
+        assert tel.counters["cache.misses"] == 2
+        assert enable_process_telemetry() is tel  # idempotent
+
+
+# -- simulator attachment ---------------------------------------------
+
+
+class TestSimulatorAttachment:
+    def test_disabled_by_default(self):
+        assert Simulator().telemetry is None
+
+    def test_true_builds_private_instance(self):
+        a, b = Simulator(telemetry=True), Simulator(telemetry=True)
+        assert a.telemetry is not None
+        assert a.telemetry is not b.telemetry
+
+    def test_shared_instance_passes_through(self):
+        tel = Telemetry()
+        assert Simulator(telemetry=tel).telemetry is tel
+
+    def test_env_var_attaches_process_instance(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        sim_a, sim_b = Simulator(), Simulator()
+        assert sim_a.telemetry is sim_b.telemetry is process_telemetry()
+
+    def test_events_popped_counts_every_step(self):
+        sim = Simulator(telemetry=True)
+
+        def ticker():
+            for _ in range(5):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker(), name="ticker")
+        sim.run()
+        assert sim.telemetry.counters["des.events_popped"] > 0
+
+    def test_wall_time_attributed_to_process_names(self):
+        tel = Telemetry(clock=FakeClock())
+        sim = Simulator(telemetry=tel)
+
+        def ticker():
+            yield sim.timeout(1.0)
+
+        sim.process(ticker(), name="nic0-tx")
+        sim.run()
+        assert tel.wall_by_process["nic0-tx"][0] >= 1
+
+
+# -- determinism (the load-bearing contract) --------------------------
+
+
+class TestByteIdenticalTraces:
+    @pytest.mark.parametrize(
+        "name", ["sor", "2dfft", "t2dfft", "seq", "hist", "airshed"]
+    )
+    def test_trace_digest_unchanged_by_telemetry(self, name):
+        off = trace_digest(run_measured(name, scale="smoke"))
+        on = trace_digest(run_measured(name, scale="smoke", telemetry=True))
+        assert on == off
+
+    def test_identical_under_faults(self):
+        off = trace_digest(run_measured("sor", scale="smoke",
+                                        faults="loss=0.05"))
+        on = trace_digest(run_measured("sor", scale="smoke",
+                                       faults="loss=0.05", telemetry=True))
+        assert on == off
+
+    def test_identical_on_switched_medium(self):
+        kw = {"cluster_kwargs": {"medium": "switched"}}
+        off = trace_digest(run_measured("sor", scale="smoke", **kw))
+        on = trace_digest(run_measured("sor", scale="smoke",
+                                       telemetry=True, **kw))
+        assert on == off
+
+
+# -- exporters --------------------------------------------------------
+
+
+class TestChromeExport:
+    def _profiled(self):
+        return profile_program("sor", scale="smoke")
+
+    def test_document_validates(self):
+        doc = chrome_trace(self._profiled().telemetry)
+        assert validate_chrome_trace(doc) == []
+
+    def test_tracks_cover_nics_ranks_and_tcp(self):
+        doc = chrome_trace(self._profiled().telemetry)
+        names = {ev["args"]["name"] for ev in doc["traceEvents"]
+                 if ev["ph"] == "M" and ev["name"] == "thread_name"}
+        assert any(n.startswith("nic") for n in names)
+        assert any(n.startswith("rank") for n in names)
+        assert any(n.startswith("tcp ") for n in names)
+        assert "run" in names
+
+    def test_counters_ride_in_other_data(self):
+        doc = chrome_trace(self._profiled().telemetry)
+        assert doc["otherData"]["counters"]["bus.frames_delivered"] > 0
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome(self._profiled().telemetry, path, label="sor/smoke")
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["label"] == "sor/smoke"
+
+    def test_validator_flags_malformed_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]}) != []
+        bad_dur = {"traceEvents": [
+            {"ph": "X", "name": "s", "cat": "c", "ts": 0, "dur": -1,
+             "pid": 1, "tid": 1}
+        ]}
+        assert any("dur" in e for e in validate_chrome_trace(bad_dur))
+
+
+class TestMetricsExport:
+    def test_snapshot_structure(self):
+        result = profile_program("sor", scale="smoke")
+        snap = metrics_snapshot(result.telemetry, program="sor")
+        assert snap["schema"] == 1
+        assert snap["meta"]["program"] == "sor"
+        assert snap["counters"]["des.events_popped"] > 0
+        assert "net.nic" in snap["wall"]["by_subsystem"]
+        assert snap["spans"]["count"] > 0
+        assert snap["spans"]["open"] == 0
+
+    def test_write_metrics_is_valid_json(self, tmp_path):
+        result = profile_program("sor", scale="smoke")
+        path = tmp_path / "metrics.json"
+        write_metrics(result.telemetry, path, program="sor")
+        doc = json.loads(path.read_text())
+        assert doc["counters"] == metrics_snapshot(result.telemetry)["counters"]
+
+
+# -- profiling --------------------------------------------------------
+
+
+class TestProfileProgram:
+    def test_counters_reconcile_with_ground_truth(self):
+        result = profile_program("sor", scale="smoke")
+        recon = result.reconcile()
+        assert result.reconciled, {k: v for k, v in recon.items()
+                                   if not v["ok"]}
+        # The checks cover the acceptance contract's counter families.
+        assert {"bus.frames_delivered", "net.frames_dropped",
+                "tcp.retransmits", "nic.frames_sent"} <= set(recon)
+
+    def test_reconciles_under_faults(self):
+        result = profile_program("sor", scale="smoke", faults="loss=0.05")
+        assert result.reconciled
+        assert result.telemetry.counters.get("tcp.retransmits", 0) == sum(
+            p.retransmits
+            for conn in result.cluster.vm._connections.values()
+            for p in (conn.forward, conn.reverse)
+        )
+
+    def test_subsystem_rows_share_run_wall_time(self):
+        result = profile_program("sor", scale="smoke")
+        rows = result.subsystem_rows()
+        names = [r[0] for r in rows]
+        assert "des.engine" in names and "net.nic" in names
+        assert sum(r[3] for r in rows) <= 1.0 + 1e-9
+        assert all(r[2] >= 0 for r in rows)
+
+    def test_events_per_second_positive(self):
+        result = profile_program("sor", scale="smoke")
+        assert result.events_popped > 0
+        assert result.events_per_second > 0
+
+    def test_format_profile_renders_report(self):
+        result = profile_program("sor", scale="smoke")
+        report = format_profile(result)
+        assert "events popped" in report
+        assert "net.nic" in report
+        assert "reconciliation" in report
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            profile_program("sor", scale="galactic")
+
+
+# -- CLI --------------------------------------------------------------
+
+
+class TestProfileCli:
+    def test_profile_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["profile", "sor", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "== profile: sor" in out
+        assert "reconciliation" in out
+
+    def test_profile_emits_artifacts(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        chrome = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["profile", "sor", "--scale", "smoke",
+                     "--emit-chrome", str(chrome),
+                     "--emit-metrics", str(metrics)]) == 0
+        assert validate_chrome_trace(json.loads(chrome.read_text())) == []
+        doc = json.loads(metrics.read_text())
+        assert all(c["ok"] for c in doc["meta"]["reconciliation"].values())
+
+    def test_profile_unknown_program(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["profile", "nope", "--scale", "smoke"]) == 2
+
+    def test_trace_with_telemetry_prints_summary(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out_file = tmp_path / "t.npz"
+        assert main(["trace", "sor", "--scale", "smoke",
+                     "--out", str(out_file), "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "bus.bytes_delivered" in out
+
+
+# -- cache counter mirroring ------------------------------------------
+
+
+class TestCacheTelemetry:
+    def test_store_counters_mirror_into_telemetry(self):
+        from repro.harness.store import TraceStore
+
+        tel = enable_process_telemetry()
+        store = TraceStore(capacity=1)
+        store.get("sor", scale="smoke")        # miss
+        store.get("sor", scale="smoke")        # memory hit
+        store.get("hist", scale="smoke")       # miss + evicts sor
+        assert tel.counters["cache.misses"] == 2
+        assert tel.counters["cache.memory_hits"] == 1
+        assert tel.counters["cache.evictions"] == 1
+        assert tel.counters["cache.misses"] == store.stats.misses
+
+    def test_get_trace_counts_requests(self):
+        from repro.harness import get_trace
+
+        tel = enable_process_telemetry()
+        get_trace("sor", scale="smoke")
+        assert tel.counters["harness.get_trace"] == 1
+
+    def test_cache_stats_cli_reports_telemetry(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["cache", "stats", "--dir", str(tmp_path),
+                     "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry cache counters" in out
