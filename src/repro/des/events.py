@@ -35,7 +35,8 @@ class Event:
 
     def __init__(self, sim):
         self.sim = sim
-        self.callbacks: List[Callable[[Event], None]] = []
+        #: Pending-side attach list; replaced by ``None`` once processed.
+        self.callbacks: Optional[List[Callable[[Event], None]]] = []
         self._value: Any = None
         self._ok: bool = True
         self._state: int = PENDING
@@ -65,13 +66,19 @@ class Event:
 
     # -- outcome -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        """Decide the event's outcome as success and schedule callbacks."""
+        """Decide the event's outcome as success and schedule callbacks.
+
+        Outcomes always fire at the current instant, so the event goes
+        straight onto the simulator's same-instant ready FIFO — append
+        order there is exactly the ``(time, seq)`` order the heap used
+        to impose.
+        """
         if self._state != PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.sim._enqueue(self, 0.0)
+        self.sim._ready.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -83,16 +90,21 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.sim._enqueue(self, 0.0)
+        self.sim._ready.append(self)
         return self
 
     # -- engine hook -------------------------------------------------
     def _process(self) -> None:
         """Run callbacks.  Called exactly once by the simulator loop."""
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        if callbacks:
+            # Dropped, not replaced: nothing may attach to a processed
+            # event, so allocating a fresh list here would be pure waste
+            # on the hottest dispatch step.
+            self.callbacks = None
+            for cb in callbacks:
+                cb(self)
 
     def __repr__(self):  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} state={self._state}>"
@@ -106,12 +118,22 @@ class Timeout(Event):
     def __init__(self, sim, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Slots assigned directly (no super().__init__) — timeouts are
+        # the engine's hottest allocation, and they are born TRIGGERED.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = TRIGGERED
-        sim._enqueue(self, delay)
+        self.delay = delay
+        now = sim._now
+        time = now + delay
+        if time == now:
+            # Zero (or sub-ulp) delay: fires this instant, FIFO order.
+            sim._ready.append(self)
+        else:
+            sim._seq = seq = sim._seq + 1
+            sim._push(time, seq, self)
 
 
 class _Condition(Event):

@@ -1,0 +1,377 @@
+"""Pluggable event queues for the simulator's future-event set.
+
+The simulator separates *same-instant* events (kept in a plain FIFO
+``ready`` list — see :class:`~repro.des.simulator.Simulator`) from
+*future* events, which live in one of the queue implementations here.
+Every queue stores ``(time, seq, entry)`` triples and must pop them in
+ascending ``(time, seq)`` order — the load-bearing FIFO tie-break that
+makes every simulation exactly reproducible.  Queues hand events back a
+whole *time batch* at a time (:meth:`pop_batch`): all entries sharing
+the minimal timestamp, in seq order, so the simulator's inner loop can
+process a same-instant burst without re-entering the queue.
+
+Two implementations:
+
+:class:`HeapQueue`
+    The binary heap the engine started with, kept as the reference
+    implementation.  O(log n) push/pop via the C ``heapq``; unbeatable
+    for small pending sets, the baseline the property suite compares
+    against.
+
+:class:`CalendarQueue`
+    A dynamic calendar queue (Brown 1988): an array of time buckets of
+    equal ``width``, conceptually wrapping around one "year" of
+    ``nbuckets * width`` seconds.  Push hashes on time; pop scans from
+    the current bucket forward.  With the width sized to the event
+    population (it is re-derived on every lazy resize), push and pop are
+    amortized O(1) regardless of the pending-set size — the property
+    that lets the engine hold events for hundreds of ranks without the
+    heap's log factor.  Resizing is structural only and uses no
+    randomness, so the pop order is bit-identical to the heap's.
+
+Selection: ``Simulator(queue=...)`` accepts an instance, a class, or a
+name (``"heap"``/``"calendar"``); ``None`` defers to the ``REPRO_QUEUE``
+environment variable, and the calendar queue is the default.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import insort
+from heapq import heappop, heappush
+from typing import List, Optional, Tuple
+
+__all__ = ["HeapQueue", "CalendarQueue", "QUEUES", "DEFAULT_QUEUE", "make_queue"]
+
+_INF = float("inf")
+
+
+class HeapQueue:
+    """Reference binary-heap future-event set (C ``heapq`` under the hood)."""
+
+    name = "heap"
+
+    __slots__ = ("_heap",)
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, object]] = []
+
+    def push(self, time: float, seq: int, entry) -> None:
+        heappush(self._heap, (time, seq, entry))
+
+    def pop_batch(self, out: list) -> float:
+        """Pop every entry sharing the minimal time into ``out`` (seq
+        order); return that time.  Raises IndexError when empty."""
+        heap = self._heap
+        time, _seq, entry = heappop(heap)
+        out.append(entry)
+        while heap and heap[0][0] == time:
+            out.append(heappop(heap)[2])
+        return time
+
+    def peek_time(self) -> float:
+        return self._heap[0][0] if self._heap else _INF
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarQueue:
+    """A dynamic calendar queue with deterministic, lazy resizing.
+
+    Two regimes, switched by population (calendar queues are famously
+    *worse* than a heap for small pending sets — the year scan and
+    bucket bookkeeping cost more than a handful of C-level heap
+    comparisons — so the queue starts as a heap and morphs):
+
+    * **Heap regime** (population ≤ :data:`SPILL_AT`): a plain binary
+      heap via the C ``heapq``.  At the replication harness's scales the
+      pending set stays well under a hundred events, so production runs
+      live here.
+    * **Bucket regime** (population > :data:`SPILL_AT`): the calendar
+      proper — an array of time buckets of equal ``width``.  Push hashes
+      on time; pop scans from the current bucket forward; push and pop
+      are amortized O(1) regardless of population, the property that
+      matters at PACS-CS-class cluster sizes.  Collapses back to the
+      heap below :data:`COLLAPSE_AT`.
+
+    Both regimes pop in identical ``(time, seq)`` order, and regime
+    switches are structural only — driven by the population count, no
+    randomness, no clock — so they are invisible in the pop order.
+
+    Parameters
+    ----------
+    nbuckets:
+        Initial bucket count (rounded up to a power of two).
+    width:
+        Initial bucket width in seconds.  Both adapt: the queue doubles
+        when the population exceeds ``2 * nbuckets`` and halves below
+        ``nbuckets / 2``, re-deriving the width from the pending events'
+        actual time span (no sampling, no randomness — resizes are
+        deterministic and invisible in the pop order).
+
+    Buckets are sorted lists of ``(time, seq, entry)``; ``(time, seq)``
+    is unique, so ``insort`` never compares entries.  The *absolute*
+    bucket number ``int(time * inv_width)`` is a monotone function of
+    time, and the forward scan accepts a bucket head with exactly the
+    same expression that :meth:`push` used to place it — never a
+    recomputed window boundary.  Monotonicity plus hash-consistency is
+    what makes the pop order exact: float rounding at a bucket boundary
+    moves placement and acceptance *together*, so an entry can never be
+    skipped past or popped early.
+    """
+
+    name = "calendar"
+
+    #: Bucket-count floor (also the initial size) and ceiling.
+    MIN_BUCKETS = 16
+    MAX_BUCKETS = 1 << 20
+
+    #: Population thresholds for the heap <-> bucket regime switch
+    #: (hysteresis: spill well above collapse so a population hovering
+    #: near one threshold does not thrash).
+    SPILL_AT = 512
+    COLLAPSE_AT = 128
+
+    __slots__ = ("_buckets", "_nbuckets", "_mask", "_width", "_inv_width",
+                 "_count", "_abs_cur", "_last_time", "_heap", "resizes")
+
+    def __init__(self, nbuckets: int = MIN_BUCKETS, width: float = 50e-6):
+        n = self.MIN_BUCKETS
+        while n < nbuckets:
+            n <<= 1
+        self._nbuckets = n
+        self._mask = n - 1
+        self._buckets: List[list] = [[] for _ in range(n)]
+        self._width = float(width)
+        self._inv_width = 1.0 / self._width
+        self._count = 0
+        self._last_time = 0.0
+        #: Absolute bucket number the scan resumes from (ring index is
+        #: ``_abs_cur & _mask``; the year is ``_abs_cur >> log2(n)``).
+        self._abs_cur = 0
+        #: Heap-regime storage; ``None`` while in the bucket regime.
+        self._heap: Optional[list] = []
+        #: Structural resizes performed (surfaced by ``repro profile``).
+        self.resizes = 0
+
+    def push(self, time: float, seq: int, entry) -> None:
+        heap = self._heap
+        if heap is not None:
+            heappush(heap, (time, seq, entry))
+            self._count += 1
+            if self._count > self.SPILL_AT:
+                self._spill()
+            return
+        bucket = self._buckets[int(time * self._inv_width) & self._mask]
+        item = (time, seq, entry)
+        if bucket and item < bucket[-1]:
+            insort(bucket, item)
+        else:
+            bucket.append(item)
+        self._count += 1
+        if self._count > (self._nbuckets << 1) and self._nbuckets < self.MAX_BUCKETS:
+            self._resize(self._nbuckets << 1)
+
+    def pop_batch(self, out: list) -> float:
+        """Pop every entry sharing the minimal ``(time, seq)``'s time into
+        ``out`` (seq order); return that time.  Raises IndexError when
+        empty."""
+        heap = self._heap
+        if heap is not None:
+            time, _seq, entry = heappop(heap)
+            out.append(entry)
+            while heap and heap[0][0] == time:
+                out.append(heappop(heap)[2])
+            self._count = len(heap)
+            self._last_time = time
+            return time
+        if not self._count:
+            raise IndexError("pop from an empty calendar queue")
+        buckets = self._buckets
+        mask = self._mask
+        inv_width = self._inv_width
+        abs_cur = self._abs_cur
+        bucket = None
+        for _ in range(self._nbuckets):
+            b = buckets[abs_cur & mask]
+            # Accept with the exact hash push used to place the entry —
+            # comparing times against a recomputed window boundary can
+            # disagree with the hash at a bucket edge and pop out of
+            # order.
+            if b and int(b[0][0] * inv_width) <= abs_cur:
+                bucket = b
+                break
+            abs_cur += 1
+        if bucket is None:
+            # Nothing within the next whole year: find the true minimum
+            # head directly and jump the scan position to its bucket.
+            best = None
+            best_i = -1
+            for i, b in enumerate(buckets):
+                if b and (best is None or b[0] < best):
+                    best = b[0]
+                    best_i = i
+            bucket = buckets[best_i]
+            time = bucket[0][0]
+            # The year scan came up dry, so the bucket width is too
+            # narrow for the schedule's current spacing (the classic
+            # calendar-queue failure mode on sparse schedules: every pop
+            # walks a whole year and falls back to a linear search).
+            # Recalibrate so a year spans ~4 such gaps — deterministic,
+            # derived only from event times — and re-bucket.
+            gap = time - self._last_time
+            needed = 4.0 * gap / self._nbuckets
+            if needed > self._width:
+                self._last_time = time  # anchor the rebuilt scan window
+                self._recalibrate(needed)
+                buckets = self._buckets
+                abs_cur = self._abs_cur
+                bucket = buckets[abs_cur & self._mask]
+            else:
+                abs_cur = int(time * inv_width)
+        time = bucket[0][0]
+        end = len(bucket)
+        if end == 1 or bucket[1][0] != time:
+            out.append(bucket[0][2])
+            del bucket[0]
+            k = 1
+        else:
+            k = 2
+            while k < end and bucket[k][0] == time:
+                k += 1
+            for item in bucket[:k]:
+                out.append(item[2])
+            del bucket[:k]
+        self._count -= k
+        self._abs_cur = abs_cur
+        self._last_time = time
+        if self._count < self.COLLAPSE_AT:
+            self._collapse()
+        elif (self._count < (self._nbuckets >> 2)
+                and self._nbuckets > self.MIN_BUCKETS):
+            self._resize(self._nbuckets >> 1)
+        return time
+
+    def peek_time(self) -> float:
+        if self._heap is not None:
+            return self._heap[0][0] if self._heap else _INF
+        if not self._count:
+            return _INF
+        best = None
+        for b in self._buckets:
+            if b and (best is None or b[0] < best):
+                best = b[0]
+        return best[0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- regime switches ------------------------------------------------
+    def _spill(self) -> None:
+        """Heap -> buckets: the population crossed :data:`SPILL_AT`.
+        Sizes the bucket array to the population and derives the width
+        from it (via :meth:`_resize`)."""
+        items = self._heap
+        self._heap = None
+        nbuckets = self.MIN_BUCKETS
+        while self._count > (nbuckets << 1) and nbuckets < self.MAX_BUCKETS:
+            nbuckets <<= 1
+        # Any placement works here — _resize rebuilds from the buckets.
+        self._buckets[0].extend(items)
+        self._buckets[0].sort()
+        self._resize(nbuckets)
+
+    def _collapse(self) -> None:
+        """Buckets -> heap: the population fell below
+        :data:`COLLAPSE_AT`.  A time-sorted list is a valid heap, so the
+        pending set is gathered and sorted once."""
+        items = []
+        for b in self._buckets:
+            items.extend(b)
+        items.sort()
+        self._heap = items
+        n = self.MIN_BUCKETS
+        self._nbuckets = n
+        self._mask = n - 1
+        self._buckets = [[] for _ in range(n)]
+        self.resizes += 1
+
+    # -- sizing --------------------------------------------------------
+    def _recalibrate(self, width: float) -> None:
+        """Re-bucket the pending set with a new ``width`` (same bucket
+        count).  Called when the forward scan finds the schedule sparser
+        than the current width can cover in one year."""
+        items = []
+        for b in self._buckets:
+            items.extend(b)
+            del b[:]
+        self._width = width
+        self._inv_width = inv_width = 1.0 / width
+        buckets = self._buckets
+        mask = self._mask
+        for item in items:
+            insort(buckets[int(item[0] * inv_width) & mask], item)
+        self._abs_cur = int(self._last_time * inv_width)
+        self.resizes += 1
+
+    def _resize(self, nbuckets: int) -> None:
+        """Rebuild with ``nbuckets`` buckets, re-deriving the width from
+        the pending events' *median* gap (deterministic: derived from the
+        full population, never a sample).  The median — not the mean
+        span — keeps one far-future straggler (a watchdog, a delayed-ACK
+        fallback timer) from inflating the width until the whole dense
+        population collapses into a single sorted bucket."""
+        items = []
+        for b in self._buckets:
+            items.extend(b)
+        if len(items) > 1:
+            times = sorted(item[0] for item in items)
+            gaps = [b - a for a, b in zip(times, times[1:]) if b > a]
+            if gaps:
+                gaps.sort()
+                # ~3 median gaps per bucket (Brown's guidance): a batch
+                # of same-instant events costs one bucket, and the year
+                # covers the dense core of the schedule.
+                self._width = 3.0 * gaps[len(gaps) // 2]
+                self._inv_width = 1.0 / self._width
+        self._nbuckets = nbuckets
+        self._mask = mask = nbuckets - 1
+        self._buckets = buckets = [[] for _ in range(nbuckets)]
+        inv_width = self._inv_width
+        for item in items:
+            insort(buckets[int(item[0] * inv_width) & mask], item)
+        self._abs_cur = int(self._last_time * inv_width)
+        self.resizes += 1
+
+
+#: Selectable queue implementations, by name.
+QUEUES = {
+    "heap": HeapQueue,
+    "calendar": CalendarQueue,
+}
+
+DEFAULT_QUEUE = "calendar"
+
+
+def make_queue(spec=None):
+    """Build an event queue from ``spec``.
+
+    ``spec`` may be an instance (returned as-is), a class (instantiated),
+    a name from :data:`QUEUES`, or ``None`` — which defers to the
+    ``REPRO_QUEUE`` environment variable and falls back to
+    :data:`DEFAULT_QUEUE` (the calendar queue).
+    """
+    if spec is None:
+        spec = os.environ.get("REPRO_QUEUE", "").strip().lower() or DEFAULT_QUEUE
+    if isinstance(spec, str):
+        try:
+            cls = QUEUES[spec.strip().lower()]
+        except KeyError:
+            known = ", ".join(sorted(QUEUES))
+            raise ValueError(f"unknown event queue {spec!r} (known: {known})"
+                             ) from None
+        return cls()
+    if isinstance(spec, type):
+        return spec()
+    return spec

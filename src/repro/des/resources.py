@@ -11,7 +11,7 @@ from collections import deque
 from typing import Any, Deque, Optional
 
 from .errors import SimulationError
-from .events import Event, PENDING
+from .events import Event, PENDING, TRIGGERED
 
 __all__ = ["Resource", "Store"]
 
@@ -113,26 +113,40 @@ class Store:
         return tuple(self._items)
 
     def put(self, item: Any) -> Event:
-        """Queue ``item``; the returned event fires once it is accepted."""
-        ev = Event(self.sim)
+        """Queue ``item``; the returned event fires once it is accepted.
+
+        The success paths trigger the fresh event directly (state set +
+        ready-list append — exactly what :meth:`Event.succeed` does for
+        an event that cannot have been triggered yet), skipping the
+        method call and state guard on the engine's hottest hand-off.
+        """
+        sim = self.sim
+        ev = Event(sim)
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
             getter = self._getters.popleft()
             getter.succeed(item)
-            ev.succeed()
+            ev._state = TRIGGERED
+            sim._ready.append(ev)
         elif self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            ev.succeed()
+            ev._state = TRIGGERED
+            sim._ready.append(ev)
         else:
             self._putters.append((ev, item))
         return ev
 
     def get(self) -> Event:
         """Take the next item; the returned event fires with the item."""
-        ev = Event(self.sim)
-        if self._items:
-            ev.succeed(self._items.popleft())
-            self._admit_putters()
+        sim = self.sim
+        ev = Event(sim)
+        items = self._items
+        if items:
+            ev._value = items.popleft()
+            ev._state = TRIGGERED
+            sim._ready.append(ev)
+            if self._putters:
+                self._admit_putters()
         else:
             self._getters.append(ev)
         return ev
@@ -153,6 +167,10 @@ class Store:
             pass
 
 
+def _match_any(item: Any) -> bool:
+    return True
+
+
 class FilterStore(Store):
     """A store whose getters may specify a predicate.
 
@@ -164,29 +182,36 @@ class FilterStore(Store):
         self._getters: Deque[tuple] = deque()  # (event, predicate)
 
     def put(self, item: Any) -> Event:
-        ev = Event(self.sim)
+        sim = self.sim
+        ev = Event(sim)
         for i, (getter, pred) in enumerate(self._getters):
             if pred(item):
                 del self._getters[i]
                 getter.succeed(item)
-                ev.succeed()
+                ev._state = TRIGGERED
+                sim._ready.append(ev)
                 return ev
         if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            ev.succeed()
+            ev._state = TRIGGERED
+            sim._ready.append(ev)
         else:
             self._putters.append((ev, item))
         return ev
 
     def get(self, predicate=None) -> Event:
         if predicate is None:
-            predicate = lambda item: True
-        ev = Event(self.sim)
+            predicate = _match_any
+        sim = self.sim
+        ev = Event(sim)
         for i, item in enumerate(self._items):
             if predicate(item):
                 del self._items[i]
-                ev.succeed(item)
-                self._admit_putters()
+                ev._value = item
+                ev._state = TRIGGERED
+                sim._ready.append(ev)
+                if self._putters:
+                    self._admit_putters()
                 return ev
         self._getters.append((ev, predicate))
         return ev

@@ -1,21 +1,37 @@
 """The discrete-event simulator core.
 
-Events are kept in a binary heap keyed by ``(time, sequence)`` where the
-sequence number increases monotonically: events scheduled for the same
-instant fire in the order they were scheduled.  This determinism is load
-bearing — the whole reproduction (traces, spectra, tables) is exactly
-repeatable given the same seeds.
+Scheduling is split in two, both preserving the load-bearing
+``(time, seq)`` FIFO contract — events scheduled for the same instant
+fire in the order they were scheduled, so every simulation (traces,
+spectra, tables) is exactly repeatable given the same seeds:
+
+* **Same-instant events** (``succeed``/``fail`` outcomes, zero-delay
+  timeouts, process resumes) go straight onto a plain FIFO ``ready``
+  list.  Appending in schedule order *is* the ``(time, seq)`` order at
+  the current instant, so the hot 60% of schedules cost one list append
+  instead of a heap push, and the run loop drains a same-instant batch
+  without touching the future-event queue at all.
+* **Future events** go to a pluggable queue (:mod:`repro.des.queues`):
+  the calendar queue by default, or the reference binary heap —
+  selected via ``Simulator(queue=...)`` or the ``REPRO_QUEUE``
+  environment variable.  Queues return whole time batches, which the
+  loop feeds back through the ready list.
+
+The sanitizer/telemetry observer checks are hoisted out of the inner
+loop: :meth:`run` dispatches once to a tight unobserved loop or to the
+instrumented one, so production runs pay nothing per event for the
+observability hooks (``repro profile`` documents the budget).
 """
 
 from __future__ import annotations
 
 import os
-from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
-from .events import AllOf, AnyOf, Event, Timeout
-from .process import Process
+from .events import AllOf, AnyOf, Event, Timeout, PROCESSED
+from .process import Process, _Resume
+from .queues import make_queue
 
 __all__ = ["Simulator"]
 
@@ -60,12 +76,25 @@ class Simulator:
         path attaches the *process-wide* instance so counters aggregate
         across runs.  Telemetry observes only — instrumented runs are
         byte-identical to uninstrumented ones.
+    queue:
+        The future-event set: a queue instance, class, or name
+        (``"calendar"``/``"heap"``, see :mod:`repro.des.queues`).
+        ``None`` defers to ``REPRO_QUEUE`` and defaults to the calendar
+        queue.  Every queue preserves the ``(time, seq)`` pop order
+        exactly, so the choice affects speed only, never the trace.
     """
 
     def __init__(self, strict: bool = True, sanitize: Optional[bool] = None,
-                 telemetry=None):
+                 telemetry=None, queue=None):
         self._now: float = 0.0
-        self._heap: list = []
+        self._queue = make_queue(queue)
+        #: ``self._queue.push`` bound once — every future-event schedule
+        #: (sleeps, timeouts, ``_enqueue``) goes through it, and the
+        #: attribute hop + method bind per push is measurable there.
+        self._push = self._queue.push
+        #: Same-instant FIFO: entries fire at ``_ready_time`` in list order.
+        self._ready: list = []
+        self._ready_time: float = 0.0
         self._seq: int = 0
         self.strict = strict
         self._active_process: Optional[Process] = None
@@ -102,6 +131,11 @@ class Simulator:
         """The process currently being resumed, if any."""
         return self._active_process
 
+    @property
+    def queue(self):
+        """The future-event queue instance (see :mod:`repro.des.queues`)."""
+        return self._queue
+
     # -- event factories ----------------------------------------------
     def event(self) -> Event:
         """A fresh untriggered event."""
@@ -124,10 +158,23 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling ----------------------------------------------------
-    def _enqueue(self, event: Event, delay: float) -> None:
-        """Place a triggered event on the heap ``delay`` seconds from now."""
-        self._seq += 1
-        heappush(self._heap, (self._now + delay, self._seq, event))
+    def _enqueue(self, event, delay: float) -> None:
+        """Place a triggered event on the schedule ``delay`` seconds from
+        now.
+
+        Same-instant events append to the ready FIFO (schedule order is
+        ``(time, seq)`` order at one instant); future events go to the
+        queue with the next sequence number.  A past time (possible only
+        by deliberate misuse — ``Timeout`` guards against negative
+        delays) also goes to the queue, where the next pop surfaces it
+        to the sanitizer's causality check.
+        """
+        time = self._now + delay
+        if time == self._now:
+            self._ready.append(event)
+        else:
+            self._seq = seq = self._seq + 1
+            self._push(time, seq, event)
 
     def schedule_at(self, time: float, value: Any = None) -> Event:
         """An event that fires at absolute simulation time ``time``."""
@@ -138,19 +185,105 @@ class Simulator:
     # -- execution -----------------------------------------------------
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if none remain."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._ready:
+            return self._ready_time
+        return self._queue.peek_time()
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._heap:
-            raise EmptySchedule("no scheduled events")
-        time, _seq, event = heappop(self._heap)
+        """Process exactly one event (the reference path; :meth:`run`
+        uses the batched loop)."""
+        ready = self._ready
+        if not ready:
+            if not len(self._queue):
+                raise EmptySchedule("no scheduled events")
+            self._ready_time = self._queue.pop_batch(ready)
+        entry = ready.pop(0)
+        time = self._ready_time
         if self.sanitizer is not None:
-            self.sanitizer.on_pop(time, self._now, event)
+            self.sanitizer.on_pop(time, self._now, entry)
         if self.telemetry is not None:
             self.telemetry.on_event_popped()
         self._now = time
-        event._process()
+        entry._process()
+
+    def _run_fast(self) -> None:
+        """The unobserved inner loop: drain ready batches until empty."""
+        ready = self._ready
+        queue = self._queue
+        pop_batch = queue.pop_batch
+        qlen = queue.__len__
+        try:
+            while True:
+                # C-level iteration: callbacks append to ``ready`` while
+                # it is being walked, and the list iterator picks the new
+                # entries up in FIFO order — no index bookkeeping and no
+                # bounds probe per event.
+                for entry in ready:
+                    # Dispatch inlined: exactly ``entry._process()`` for
+                    # the only two entry shapes that exist (guarded by
+                    # the greps in the queue property suite) — a resume
+                    # record or an Event firing its callbacks — minus a
+                    # method call per event.  Each entry is marked
+                    # consumed *before* its effects run (``proc = None``
+                    # / ``PROCESSED``), which is what lets the abort path
+                    # below identify the unprocessed tail.
+                    if entry.__class__ is _Resume:
+                        proc = entry.proc
+                        if proc is not None:
+                            entry.proc = None
+                            proc._pending = None
+                            proc._resume(entry)
+                    else:
+                        entry._state = PROCESSED
+                        callbacks = entry.callbacks
+                        if callbacks:
+                            entry.callbacks = None
+                            for cb in callbacks:
+                                cb(entry)
+                del ready[:]
+                if not qlen():
+                    break
+                self._ready_time = self._now = pop_batch(ready)
+        except BaseException:
+            # Keep the unprocessed tail (a StopSimulation or process
+            # exception aborts mid-batch; a later run()/step() resumes).
+            # Consumed entries are recognizable by their markers; an
+            # already-detached resume record is a no-op either way.
+            ready[:] = [
+                e for e in ready
+                if (e.proc is not None
+                    if e.__class__ is _Resume
+                    else e._state != PROCESSED)
+            ]
+            raise
+
+    def _run_observed(self) -> None:
+        """The same loop with per-event sanitizer/telemetry hooks."""
+        ready = self._ready
+        queue = self._queue
+        pop_batch = queue.pop_batch
+        san = self.sanitizer
+        tel = self.telemetry
+        i = 0
+        try:
+            while True:
+                if i < len(ready):
+                    entry = ready[i]
+                    i += 1
+                    if san is not None:
+                        san.on_pop(self._ready_time, self._now, entry)
+                    if tel is not None:
+                        tel.on_event_popped()
+                    self._now = self._ready_time
+                    entry._process()
+                else:
+                    del ready[:]
+                    i = 0
+                    if not len(queue):
+                        break
+                    self._ready_time = pop_batch(ready)
+        finally:
+            del ready[:i]
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -167,10 +300,10 @@ class Simulator:
             pass
         elif isinstance(until, Event):
             stop_event = until
-            if stop_event.processed:
-                if stop_event.ok:
-                    return stop_event.value
-                raise stop_event.value
+            if stop_event._state == PROCESSED:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
             stop_event.callbacks.append(self._stop_on)
         else:
             horizon = float(until)
@@ -182,8 +315,10 @@ class Simulator:
             stop_event.callbacks.append(self._stop_on)
 
         try:
-            while self._heap:
-                self.step()
+            if self.sanitizer is None and self.telemetry is None:
+                self._run_fast()
+            else:
+                self._run_observed()
         except StopSimulation as stop:
             ev = stop.value
             if isinstance(until, Event):
@@ -191,11 +326,20 @@ class Simulator:
                     return ev.value
                 raise ev.value
             return None
+        finally:
+            # Detach the stop hook on *every* exit path (exhaustion, a
+            # propagating process exception, or the stop itself): a
+            # callback left behind would raise a spurious StopSimulation
+            # into some later run() when the event finally fires.
+            if stop_event is not None and stop_event._state != PROCESSED:
+                try:
+                    stop_event.callbacks.remove(self._stop_on)
+                except ValueError:
+                    pass
         if isinstance(until, Event):
             raise SimulationError("simulation ran out of events before `until` fired")
-        if until is not None and not isinstance(until, Event):
-            # Ran dry before the horizon: advance the clock to it.
-            self._now = max(self._now, float(until))
+        # A numeric horizon always has its Timeout scheduled, so the loop
+        # cannot run dry before reaching it — no clock fix-up is needed.
         return None
 
     @staticmethod
@@ -203,4 +347,6 @@ class Simulator:
         raise StopSimulation(event)
 
     def __repr__(self):  # pragma: no cover - cosmetic
-        return f"<Simulator t={self._now:.6f} queued={len(self._heap)}>"
+        queued = len(self._ready) + len(self._queue)
+        return (f"<Simulator t={self._now:.6f} queued={queued} "
+                f"queue={self._queue.name}>")

@@ -16,7 +16,7 @@ import random
 from typing import List, Optional
 
 from ..capture import PacketTrace, TraceRecorder
-from ..des import Event, Simulator
+from ..des import Event, Simulator, Timeout
 from ..faults import FaultInjector, FaultPlan
 from ..net import EthernetBus, Nic, SwitchedFabric
 from ..pvm import PvmMessage, Route, VirtualMachine
@@ -63,6 +63,12 @@ class FxCluster:
         existing instance to share one); ``None`` defers to the
         ``REPRO_TELEMETRY`` environment variable.  Instrumented runs
         produce byte-identical traces.
+    queue:
+        Future-event queue for the simulator (name, class, or instance —
+        see :func:`repro.des.queues.make_queue`); ``None`` defers to the
+        ``REPRO_QUEUE`` environment variable and the calendar-queue
+        default.  All queues pop in the same ``(time, seq)`` order, so
+        the choice never changes a trace.
     """
 
     def __init__(
@@ -76,11 +82,12 @@ class FxCluster:
         faults=None,
         sanitize: Optional[bool] = None,
         telemetry=None,
+        queue=None,
     ):
         if n_machines < 2:
             raise ValueError("a cluster needs at least 2 machines")
         self.seed = seed
-        self.sim = Simulator(sanitize=sanitize, telemetry=telemetry)
+        self.sim = Simulator(sanitize=sanitize, telemetry=telemetry, queue=queue)
         self.faults: Optional[FaultPlan] = FaultPlan.coerce(faults)
         self.fault_injector: Optional[FaultInjector] = None
         if self.faults is not None:
@@ -169,30 +176,34 @@ class FxContext:
         return self.runtime.nprocs
 
     # -- local computation ------------------------------------------------
-    def compute(self, work: float) -> Event:
-        """A compute phase of ``work`` units; yield the returned event.
+    def compute(self, work: float) -> float:
+        """A compute phase of ``work`` units; yield the returned delay.
 
+        The return value is a bare delay consumed by the DES sleep
+        protocol — yielding it schedules the rank's resume in exactly
+        the slot a ``Timeout`` would occupy, without the allocation.
         The phase's (rank, start, end) is appended to the runtime's
         :attr:`FxRuntime.phase_log` — ground truth for validating the
         burst/idle structure recovered from packet traces.
         """
-        duration = self.work_model.duration(work, now=self.sim.now)
+        sim = self.sim
+        now = sim._now
+        duration = self.work_model.duration(work, now=now)
         if duration > 0:
-            self.runtime.phase_log.append(
-                (self.rank, self.sim.now, self.sim.now + duration)
-            )
-        tel = self.sim.telemetry
+            self.runtime.phase_log.append((self.rank, now, now + duration))
+        tel = sim.telemetry
         if tel is not None:
             tel.count("fx.compute_phases")
             tel.complete("compute", "fx.program", f"rank{self.rank}",
-                         self.sim.now, self.sim.now + duration,
-                         rank=self.rank, work=work)
-        return self.sim.timeout(duration)
+                         now, now + duration, rank=self.rank, work=work)
+        return duration
 
     # -- point-to-point ---------------------------------------------------
     def send(self, dst_rank: int, nbytes: int, tag: int = 0,
              obj=None, fragments: int = 1):
-        """Send ``nbytes`` to ``dst_rank``; a generator to ``yield from``.
+        """Send ``nbytes`` to ``dst_rank``; returns a generator to
+        ``yield from`` (a plain call, so the per-yield delegation chain
+        stays one frame shallower than a wrapper generator would be).
 
         ``fragments > 1`` packs the payload as that many PVM fragments
         (T2DFFT's multi-pack behaviour); otherwise the message is a
@@ -211,7 +222,7 @@ class FxContext:
             base, extra = divmod(nbytes, fragments)
             for i in range(fragments):
                 msg.pack(base + (1 if i < extra else 0))
-        yield from self.runtime.vm.send(
+        return self.runtime.vm.send(
             self.task, self.runtime.tasks[dst_rank], msg, route=self.runtime.route
         )
 

@@ -46,7 +46,7 @@ MIN_MEASURED_SIZE = ETHERNET_OVERHEAD + 40
 MAX_MEASURED_SIZE = ETHERNET_OVERHEAD + ETHERNET_MAX_PAYLOAD
 
 
-@dataclass
+@dataclass(slots=True)
 class EthernetFrame:
     """One Ethernet frame carrying an IP datagram.
 
@@ -58,12 +58,17 @@ class EthernetFrame:
         IP datagram length in bytes (IP header included).
     payload:
         The layer-3 object delivered to the receiving stack.
+
+    ``size`` — the measured size in bytes, using the paper's accounting
+    — is computed once at construction: every layer that touches a frame
+    (NIC stats, bus stats, the capture listener) reads it.
     """
 
     src: int
     dst: int
     payload_size: int
     payload: Any = None
+    size: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self):
         if self.payload_size < 0:
@@ -73,11 +78,7 @@ class EthernetFrame:
                 f"payload {self.payload_size} exceeds Ethernet maximum "
                 f"{ETHERNET_MAX_PAYLOAD}"
             )
-
-    @property
-    def size(self) -> int:
-        """Measured size in bytes, using the paper's accounting."""
-        return ETHERNET_OVERHEAD + self.payload_size
+        self.size = ETHERNET_OVERHEAD + self.payload_size
 
     @property
     def wire_bytes(self) -> int:

@@ -180,18 +180,25 @@ class EthernetBus:
         """
         sim = self.sim
         tel = sim.telemetry
+        san = sim.sanitizer
         span = None
         if tel is not None:
             tel.count("bus.frames_offered")
             span = tel.begin(f"frame {frame.size}B", "net.medium",
-                             f"nic{frame.src}", sim.now,
+                             f"nic{frame.src}", sim._now,
                              src=frame.src, dst=frame.dst, size=frame.size)
+        # Hot path: one transmit per frame, several yields each.  Fixed
+        # parameters are localized and every wait is a bare-delay sleep
+        # (see the DES sleep protocol) — same events at the same
+        # instants, none of the Timeout machinery.
+        contention_window = self.contention_window
+        stats = self.stats
         attempt = 0
         while True:
             # Carrier sense: defer while the medium is busy.  The deadline
             # may extend while we wait, so loop.
-            while sim.now < self._busy_until:
-                yield sim.timeout(self._busy_until - sim.now)
+            while sim._now < self._busy_until:
+                yield self._busy_until - sim._now  # sleep: carrier busy
 
             # Same-instant gap: the current contention window may have
             # closed with its sole transmitter determined, while the
@@ -205,24 +212,23 @@ class EthernetBus:
             if (
                 w is not None
                 and not w.collided
-                and sim.now >= w.start + self.contention_window
+                and sim._now >= w.start + contention_window
             ):
-                yield sim.timeout(0.0)
+                yield 0.0  # sleep one slot: let the winner re-sense first
                 continue
 
             # Start transmitting: join (or open) the contention window.
-            w = self._window
-            if w is None or sim.now > w.start + self.contention_window:
-                w = _Window(sim.now)
+            if w is None or sim._now > w.start + contention_window:
+                w = _Window(sim._now)
                 self._window = w
             w.members += 1
             if w.members > 1 and not w.collided:
                 w.collided = True
-                self.stats.collisions += 1
+                stats.collisions += 1
                 if tel is not None:
                     tel.count("bus.collisions")
 
-            yield sim.timeout(self.contention_window)
+            yield contention_window  # sleep: contention window
 
             w.members -= 1
             if w.members == 0 and self._window is w:
@@ -235,57 +241,62 @@ class EthernetBus:
                 # stations' jams overlap, so only the interval this jam
                 # extends the deadline by is added (the union, not the
                 # sum).
-                jam_end = sim.now + self.jam_time
-                jam_added = jam_end - max(self._busy_until, sim.now)
+                jam_end = sim._now + self.jam_time
+                jam_added = jam_end - max(self._busy_until, sim._now)
                 if jam_added > 0:
-                    self.stats.busy_time += jam_added
+                    stats.busy_time += jam_added
                 self._busy_until = max(self._busy_until, jam_end)
                 attempt += 1
                 if self.max_attempts is not None and attempt >= self.max_attempts:
-                    self.stats.frames_dropped += 1
+                    stats.frames_dropped += 1
                     self.record_drop("excess-collisions", frame)
                     if span is not None:
                         span.args["outcome"] = "excess-collisions"
-                        tel.end(span, sim.now)
+                        tel.end(span, sim._now)
                     return False
                 backoff = self.rng.randrange(0, 1 << min(attempt, 10))
                 if tel is not None:
                     tel.count("bus.backoff_rounds")
-                yield sim.timeout(self.jam_time + backoff * self.slot_time)
+                yield self.jam_time + backoff * self.slot_time  # sleep: backoff
                 continue
 
             # Sole transmitter: hold the medium for the frame + IFG.
-            tx_time = self.tx_time(frame)
-            if sim.sanitizer is not None:
-                sim.sanitizer.on_bus_transmission(sim.now, sim.now + tx_time)
-            self._busy_until = max(self._busy_until, sim.now + tx_time + self.ifg_time)
-            yield sim.timeout(tx_time)
-            self.stats.busy_time += tx_time
+            tx_time = frame.wire_bits / self.bandwidth_bps
+            now = sim._now
+            if san is not None:
+                san.on_bus_transmission(now, now + tx_time)
+            busy = now + tx_time + self.ifg_time
+            if busy > self._busy_until:
+                self._busy_until = busy
+            yield tx_time  # sleep: frame on the wire
+            stats.busy_time += tx_time
             # Wire faults: a lost or corrupted frame occupied the medium
             # (and counts as sent by the NIC) but is never delivered.
             if self.fault_injector is not None:
-                fate = self.fault_injector.frame_fate(frame, sim.now)
+                fate = self.fault_injector.frame_fate(frame, sim._now)
                 if fate is not None:
-                    self.stats.frames_dropped += 1
+                    stats.frames_dropped += 1
                     self.record_drop(fate, frame)
                     if span is not None:
                         span.args["outcome"] = fate
                         span.args["attempts"] = attempt + 1
-                        tel.end(span, sim.now)
+                        tel.end(span, sim._now)
                     return True
             self._deliver(frame)
             if span is not None:
                 span.args["outcome"] = "delivered"
                 span.args["attempts"] = attempt + 1
-                tel.end(span, sim.now)
+                tel.end(span, sim._now)
             return True
 
     # -- delivery ---------------------------------------------------------
     def _deliver(self, frame: EthernetFrame) -> None:
-        now = self.sim.now
-        self.stats.frames_delivered += 1
-        self.stats.bytes_delivered += frame.size
-        tel = self.sim.telemetry
+        sim = self.sim
+        now = sim._now
+        stats = self.stats
+        stats.frames_delivered += 1
+        stats.bytes_delivered += frame.size
+        tel = sim.telemetry
         if tel is not None:
             tel.count("bus.frames_delivered")
             tel.count("bus.bytes_delivered", frame.size)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..des import Simulator, Store
+from ..des import Event, Simulator, Store
 from .frame import EthernetFrame
 from .medium import EthernetBus
 
@@ -76,19 +76,21 @@ class Nic:
             raise ValueError(
                 f"frame src {frame.src} does not match station {self.station_id}"
             )
-        done = self.sim.event()
+        queue = self._queue
+        done = Event(self.sim)
         if (self.queue_limit is not None
-                and len(self._queue) >= self.queue_limit):
+                and len(queue) >= self.queue_limit):
             self.stats.frames_dropped += 1
             record = getattr(self.bus, "record_drop", None)
             if record is not None:
                 record("queue-overflow", frame)
             done.succeed(False)
             return done
-        self._queue.put((frame, done))
-        depth = len(self._queue)
-        if depth > self.stats.max_queue_depth:
-            self.stats.max_queue_depth = depth
+        queue.put((frame, done))
+        depth = len(queue)
+        stats = self.stats
+        if depth > stats.max_queue_depth:
+            stats.max_queue_depth = depth
         tel = self.sim.telemetry
         if tel is not None:
             tel.count("nic.frames_queued")
@@ -100,18 +102,23 @@ class Nic:
         return len(self._queue)
 
     def _tx_loop(self):
+        # Per-frame hot loop: the observer handles and collaborators are
+        # fixed for the simulator's lifetime, so bind them once.
+        get = self._queue.get
+        transmit = self.bus.transmit
+        stats = self.stats
+        tel = self.sim.telemetry
         while True:
-            frame, done = yield self._queue.get()
-            delivered = yield from self.bus.transmit(frame)
-            tel = self.sim.telemetry
+            frame, done = yield get()
+            delivered = yield from transmit(frame)
             if delivered:
-                self.stats.frames_sent += 1
-                self.stats.bytes_sent += frame.size
+                stats.frames_sent += 1
+                stats.bytes_sent += frame.size
                 if tel is not None:
                     tel.count("nic.frames_sent")
                     tel.count("nic.bytes_sent", frame.size)
             else:
-                self.stats.frames_dropped += 1
+                stats.frames_dropped += 1
             done.succeed(delivered)
 
     # -- receive ---------------------------------------------------------

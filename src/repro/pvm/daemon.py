@@ -113,7 +113,7 @@ class PvmDaemon:
                 self._note_keepalive(dgram.src_host, now)
                 continue  # keepalive
             # Deliver to the destination task via local IPC.
-            yield self.sim.timeout(self.vm.ipc_latency)
+            yield self.vm.ipc_latency  # sleep
             self.vm.deliver_local(task_msg)
 
     def _note_keepalive(self, peer: int, now: float) -> None:

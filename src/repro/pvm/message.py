@@ -25,6 +25,8 @@ MSG_HEADER = 24
 class PvmMessage:
     """A send buffer assembled by one or more ``pack`` calls."""
 
+    __slots__ = ("tag", "obj", "fragments")
+
     def __init__(self, tag: int = 0, obj: Any = None):
         self.tag = tag
         self.obj = obj
@@ -64,7 +66,7 @@ class PvmMessage:
         return f"<PvmMessage tag={self.tag} frags={len(self.fragments)} bytes={self.total_bytes}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskMessage:
     """A message as seen by the receiving task."""
 

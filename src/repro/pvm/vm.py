@@ -39,10 +39,8 @@ class PvmMachine:
         self.stack = stack
         self.daemon: Optional[PvmDaemon] = None
         self.tasks: List["PvmTask"] = []
-
-    @property
-    def host_id(self) -> int:
-        return self.stack.host_id
+        #: Mirrors ``stack.host_id`` (immutable) — read on every send.
+        self.host_id: int = stack.host_id
 
     @property
     def name(self) -> str:
@@ -60,10 +58,8 @@ class PvmTask:
         self.mailbox: FilterStore = FilterStore(sim)
         self.messages_sent = 0
         self.messages_received = 0
-
-    @property
-    def host_id(self) -> int:
-        return self.machine.host_id
+        #: Mirrors ``machine.host_id`` (immutable) — read on every send.
+        self.host_id: int = machine.host_id
 
     def recv(self, source: Optional[int] = None, tag: Optional[int] = None) -> Event:
         """Event that fires with the next matching :class:`TaskMessage`."""
@@ -161,11 +157,13 @@ class VirtualMachine:
         return {m.host_id: m for m in self.machines}
 
     def _dispatch(self, pipe):
+        get = pipe.mailbox.get
+        deliver = self.deliver_local
         while True:
-            delivered = yield pipe.mailbox.get()
+            delivered = yield get()
             task_msg = delivered.obj
-            if isinstance(task_msg, TaskMessage):
-                self.deliver_local(task_msg)
+            if type(task_msg) is TaskMessage:
+                deliver(task_msg)
 
     def deliver_local(self, task_msg: TaskMessage) -> None:
         """Put a message into its destination task's mailbox."""
@@ -179,58 +177,65 @@ class VirtualMachine:
             tag=task_msg.tag,
             nbytes=task_msg.nbytes,
             obj=task_msg.obj,
-            time=self.sim.now,
+            time=self.sim._now,
         )
         task.mailbox.put(stamped)
 
     # -- send path ------------------------------------------------------------
     def send(self, src: PvmTask, dst: PvmTask, message: PvmMessage,
              route: Route = Route.DIRECT):
-        """Send ``message`` from ``src`` to ``dst``; a generator to
-        ``yield from`` inside the sending task's process.
+        """Send ``message`` from ``src`` to ``dst``; returns a generator
+        to ``yield from`` inside the sending task's process.
 
         Blocks (in simulated time) until the message is accepted by the
-        transport — PVM's ``pvm_send`` semantics.
+        transport — PVM's ``pvm_send`` semantics.  Without telemetry the
+        inner generator is returned directly: no wrapper frame, so every
+        resume of the send path skips one delegation hop.
         """
         src.messages_sent += 1
         tel = self.sim.telemetry
-        span = None
-        if tel is not None:
-            tel.count("pvm.messages_sent")
-            tel.count("pvm.message_bytes", message.data_bytes)
-            span = tel.begin(
-                f"pvm_send {message.data_bytes}B", "pvm.vm",
-                f"host{src.host_id}", self.sim.now,
-                src_task=src.tid, dst_task=dst.tid, route=route.value,
-            )
+        if tel is None:
+            return self._send_inner(src, dst, message, route)
+        return self._send_traced(src, dst, message, route, tel)
+
+    def _send_traced(self, src: PvmTask, dst: PvmTask, message: PvmMessage,
+                     route: Route, tel):
+        tel.count("pvm.messages_sent")
+        tel.count("pvm.message_bytes", message.data_bytes)
+        span = tel.begin(
+            f"pvm_send {message.data_bytes}B", "pvm.vm",
+            f"host{src.host_id}", self.sim.now,
+            src_task=src.tid, dst_task=dst.tid, route=route.value,
+        )
         try:
             yield from self._send_inner(src, dst, message, route)
         finally:
-            if span is not None:
-                tel.end(span, self.sim.now)
+            tel.end(span, self.sim.now)
 
     def _send_inner(self, src: PvmTask, dst: PvmTask, message: PvmMessage,
                     route: Route):
+        sim = self.sim
         if self.send_overhead > 0:
-            yield self.sim.timeout(self.send_overhead)
+            yield self.send_overhead  # sleep: sender CPU cost
         task_msg = TaskMessage(
             src_task=src.tid,
             dst_task=dst.tid,
             tag=message.tag,
             nbytes=message.data_bytes,
             obj=message.obj,
-            time=self.sim.now,
+            time=sim._now,
         )
 
-        if src.host_id == dst.host_id:
+        src_host = src.host_id
+        if src_host == dst.host_id:
             # Local IPC: no network traffic.
-            yield self.sim.timeout(self.ipc_latency)
+            yield self.ipc_latency  # sleep
             self.deliver_local(task_msg)
             return
 
         if route is Route.DIRECT:
-            conn = self._connection_for(src.host_id, dst.host_id)
-            pipe = conn.pipe_from(src.host_id)
+            conn = self._connection_for(src_host, dst.host_id)
+            pipe = conn.pipe_from(src_host)
             frags = message.wire_fragments()
             if len(frags) == 1:
                 yield pipe.send(frags[0], obj=task_msg)
@@ -241,11 +246,11 @@ class VirtualMachine:
                 # the mechanism behind T2DFFT's packet-size spread.
                 for frag in frags[:-1]:
                     yield pipe.send(frag, obj=None)
-                    yield self.sim.timeout(self.fragment_overhead)
+                    yield self.fragment_overhead  # sleep: per-fragment CPU
                 yield pipe.send(frags[-1], obj=task_msg)
         elif route is Route.DEFAULT:
             # Task -> local daemon (IPC) -> remote daemon (UDP) -> task.
-            yield self.sim.timeout(self.ipc_latency)
+            yield self.ipc_latency  # sleep
             src.machine.daemon.forward(task_msg, dst.host_id)
         else:  # pragma: no cover - future routes
             raise ValueError(f"unknown route {route!r}")

@@ -41,13 +41,9 @@ class HostStack:
 
         Returns the NIC's wire-completion event.
         """
-        frame = EthernetFrame(
-            src=self.host_id,
-            dst=dst_host,
-            payload_size=pdu.payload_size,
-            payload=pdu,
+        return self.nic.send(
+            EthernetFrame(self.host_id, dst_host, pdu.payload_size, pdu)
         )
-        return self.nic.send(frame)
 
     # -- connection / socket factories ------------------------------------
     def connect(self, peer: "HostStack", **pipe_kwargs) -> TcpConnection:
@@ -76,12 +72,14 @@ class HostStack:
     # -- inbound ------------------------------------------------------------
     def _on_frame(self, frame: EthernetFrame, now: float) -> None:
         pdu = frame.payload
-        if isinstance(pdu, TcpSegment):
+        # Exact-type dispatch: TcpSegment/UdpDatagram have no subclasses
+        # and this runs once per delivered frame.
+        if type(pdu) is TcpSegment:
             if pdu.is_ack:
                 pdu.pipe.on_ack(pdu, now)
             else:
                 pdu.pipe.on_data_segment(pdu, now)
-        elif isinstance(pdu, UdpDatagram):
+        elif type(pdu) is UdpDatagram:
             sock = self._udp_ports.get(pdu.dst_port)
             if sock is not None:
                 sock._on_datagram(pdu, now)

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, Optional, Tuple
 
 from ..des import Event, Simulator, Store
+from ..des.events import PENDING, TRIGGERED
 from ..net import EthernetFrame
 from .headers import IP_HEADER, TCP_HEADER, TCP_MSS
 
@@ -77,7 +78,7 @@ class TcpSegment:
         return TCP_OVERHEAD + self.data_len
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveredMessage:
     """An application message handed up by the receiving endpoint."""
 
@@ -143,6 +144,10 @@ class TcpPipe:
         self.sim = sim
         self.src_stack = src_stack
         self.dst_stack = dst_stack
+        # Immutable endpoint facts, cached off the stacks: the data
+        # path reads them per segment, per ACK, and per delivery.
+        self._src_host = src_stack.host_id
+        self._dst_host = dst_stack.host_id
         self.window = window
         self.sndbuf = sndbuf
         self.mss = mss
@@ -210,21 +215,26 @@ class TcpPipe:
         """
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
-        ev = Event(self.sim)
-        self._enqueued += nbytes
-        self._markers.append((self._enqueued, obj, nbytes))
+        sim = self.sim
+        ev = Event(sim)
+        enqueued = self._enqueued = self._enqueued + nbytes
+        self._markers.append((enqueued, obj, nbytes))
         if push:
-            self._push_offsets.append(self._enqueued)
-        if self._buffer_used() <= self.sndbuf:
-            ev.succeed()
+            self._push_offsets.append(enqueued)
+        if enqueued - self._snd_una <= self.sndbuf:
+            # Fresh event, cannot have triggered: succeed() inlined.
+            ev._state = TRIGGERED
+            sim._ready.append(ev)
         else:
             # Fires once enough bytes have been ACKed out of the buffer.
-            self._send_waiters.append((ev, self._enqueued))
-        self._wake_sender()
+            self._send_waiters.append((ev, enqueued))
+        wakeup = self._wakeup
+        if wakeup is not None and wakeup._state == PENDING:
+            wakeup.succeed()
         # A zero-byte message on an otherwise idle connection is already
         # fully "received": its marker needs no data segment to satisfy
         # it, so draining only in on_data_segment would strand it forever.
-        self._deliver_ready(self.sim.now)
+        self._deliver_ready(sim._now)
         return ev
 
     def _buffer_used(self) -> int:
@@ -266,39 +276,44 @@ class TcpPipe:
 
     def _sender(self):
         sim = self.sim
+        san = sim.sanitizer
+        tel = sim.telemetry
+        emit = self.src_stack.emit
+        dst_host = self._dst_host
+        mss = self.mss
+        window = self.window
         while True:
-            avail = self._enqueued - self._snd_nxt
-            space = self.window - (self._snd_nxt - self._snd_una)
+            snd_nxt = self._snd_nxt
+            avail = self._enqueued - snd_nxt
+            space = window - (snd_nxt - self._snd_una)
             if avail <= 0 or space <= 0:
-                self._wakeup = sim.event()
-                yield self._wakeup
+                self._wakeup = wakeup = Event(sim)
+                yield wakeup
                 continue
-            data_len = min(self.mss, avail, space)
+            data_len = min(mss, avail, space)
             # Respect push fences: never cut a segment across one.
             fence = self._segment_fence()
-            if fence is not None:
-                data_len = min(data_len, fence - self._snd_nxt)
-            retransmit = self._snd_nxt < self._snd_max
-            seg = TcpSegment(self, self._snd_nxt, data_len,
+            if fence is not None and fence - snd_nxt < data_len:
+                data_len = fence - snd_nxt
+            retransmit = snd_nxt < self._snd_max
+            seg = TcpSegment(self, snd_nxt, data_len,
                              retransmit=retransmit)
-            if sim.sanitizer is not None:
-                sim.sanitizer.on_tcp_data(self, seg)
-            self._snd_nxt += data_len
+            if san is not None:
+                san.on_tcp_data(self, seg)
+            self._snd_nxt = snd_nxt = snd_nxt + data_len
             self.segments_sent += 1
             self.bytes_sent += data_len
-            tel = sim.telemetry
             span = None
             if tel is not None:
                 tel.count("tcp.segments_sent")
                 tel.count("tcp.bytes_sent", data_len)
                 tel.count(
-                    f"conn.{self.src_stack.host_id}->"
-                    f"{self.dst_stack.host_id}.bytes",
+                    f"conn.{self._src_host}->{self._dst_host}.bytes",
                     data_len,
                 )
                 span = tel.begin(
                     f"seg {data_len}B", "transport.tcp",
-                    f"tcp {self.src_stack.host_id}->{self.dst_stack.host_id}",
+                    f"tcp {self._src_host}->{self._dst_host}",
                     sim.now, seq=seg.seq, retransmit=retransmit,
                 )
             if retransmit:
@@ -320,7 +335,7 @@ class TcpPipe:
             # have accumulated — small application writes coalesce into
             # full segments whenever they outpace the medium, which is the
             # stream behaviour behind the paper's packet-size shapes.
-            yield self.src_stack.emit(self.dst_stack.host_id, seg)
+            yield emit(dst_host, seg)
             if span is not None:
                 tel.end(span, sim.now)
 
@@ -343,7 +358,7 @@ class TcpPipe:
         while self._rto_deadline is not None:
             delay = self._rto_deadline - self.sim.now
             if delay > 0:
-                yield self.sim.timeout(delay)
+                yield delay  # sleep to the (movable) deadline
                 continue
             self._on_rto_expired()
         self._rto_timer_running = False
@@ -380,14 +395,16 @@ class TcpPipe:
     # -- receiver side ---------------------------------------------------
     def _deliver_ready(self, now: float) -> None:
         """Hand up every application message whose bytes are all received."""
-        while self._markers and self._markers[0][0] <= self._rcv_bytes:
-            _end, obj, nbytes = self._markers.popleft()
+        markers = self._markers
+        rcv = self._rcv_bytes
+        while markers and markers[0][0] <= rcv:
+            _end, obj, nbytes = markers.popleft()
             self.mailbox.put(
                 DeliveredMessage(
                     obj=obj,
                     nbytes=nbytes,
-                    src_host=self.src_stack.host_id,
-                    dst_host=self.dst_stack.host_id,
+                    src_host=self._src_host,
+                    dst_host=self._dst_host,
                     time=now,
                 )
             )
@@ -446,21 +463,22 @@ class TcpPipe:
             )
 
     def _ack_timer(self, token: int):
-        yield self.sim.timeout(self.delayed_ack_timeout)
+        yield self.delayed_ack_timeout  # sleep
         if self._ack_timer_armed and token == self._ack_timer_token:
             self._send_ack()
 
     def _send_ack(self) -> None:
         self._segs_since_ack = 0
         self._ack_timer_armed = False
+        sim = self.sim
         ack = TcpSegment(self, 0, 0, ack_no=self._rcv_bytes, is_ack=True)
-        if self.sim.sanitizer is not None:
-            self.sim.sanitizer.on_tcp_ack(self, ack.ack_no)
+        if sim.sanitizer is not None:
+            sim.sanitizer.on_tcp_ack(self, ack.ack_no)
         self.acks_sent += 1
-        tel = self.sim.telemetry
+        tel = sim.telemetry
         if tel is not None:
             tel.count("tcp.acks_sent")
-        self.dst_stack.emit(self.src_stack.host_id, ack)
+        self.dst_stack.emit(self._src_host, ack)
 
     # -- ACK arrival (back on sender side) -------------------------------
     def on_ack(self, seg: TcpSegment, now: float) -> None:

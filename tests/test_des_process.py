@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import Interrupt, SimulationError, Simulator
+from repro.des import Interrupt, SimulationError, Simulator, Timeout
 
 
 @pytest.fixture
@@ -57,11 +57,76 @@ def test_non_generator_rejected(sim):
 
 def test_yield_non_event_raises(sim):
     def bad(sim):
-        yield 42
+        yield "not an event"
 
     sim.process(bad(sim))
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_yield_bare_delay_sleeps(sim):
+    """The sleep protocol: yielding a number suspends for that delay,
+    in exactly the slot the equivalent ``Timeout`` would take."""
+    log = []
+
+    def sleeper(sim, log):
+        yield 1.5
+        log.append(sim.now)
+        yield 0  # int delays are sleeps too; zero fires this instant
+        log.append(sim.now)
+
+    sim.process(sleeper(sim, log))
+    sim.run()
+    assert log == [1.5, 1.5]
+
+
+def test_yield_negative_delay_raises(sim):
+    def bad(sim):
+        yield -0.5
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_sleep_interleaves_identically_with_timeouts(sim):
+    """A bare-delay sleep and a Timeout scheduled at the same instant
+    keep their FIFO schedule order."""
+    order = []
+
+    def with_sleep(sim, order):
+        yield 1.0
+        order.append("sleep")
+
+    def with_timeout(sim, order):
+        yield Timeout(sim, 1.0)
+        order.append("timeout")
+
+    sim.process(with_sleep(sim, order))
+    sim.process(with_timeout(sim, order))
+    sim.run()
+    assert order == ["sleep", "timeout"]
+
+
+def test_interrupt_during_sleep(sim):
+    log = []
+
+    def sleeper(sim, log):
+        try:
+            yield 5.0
+            log.append("woke")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, sim.now))
+
+    proc = sim.process(sleeper(sim, log))
+
+    def interrupter(sim, proc):
+        yield 1.0
+        proc.interrupt("now")
+
+    sim.process(interrupter(sim, proc))
+    sim.run()
+    assert log == [("interrupted", "now", 1.0)]
 
 
 def test_yield_foreign_event_raises(sim):

@@ -1,0 +1,394 @@
+"""The pluggable event-queue layer: heap/calendar equivalence and the
+scheduler-edge bugfixes that rode along with it.
+
+The load-bearing property is that every queue pops in ascending
+``(time, seq)`` order — the heap is the reference, and the calendar
+queue must match it *exactly* on any schedule the simulator can
+generate, including the adversarial ones (sparse schedules that force
+recalibration, far-future stragglers that used to inflate the bucket
+width, and times that land on bucket boundaries where float rounding
+once disagreed between push and pop).
+"""
+
+import hashlib
+import pathlib
+import random
+
+import pytest
+
+from repro.des import (CalendarQueue, Event, HeapQueue, Interrupt, QUEUES,
+                       SimulationError, Simulator, Timeout, make_queue)
+from repro.des.process import _Resume
+
+DES_DIR = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro" / "des"
+
+
+# -- queue-level equivalence ------------------------------------------
+
+
+def _drain(queue):
+    order = []
+    while len(queue):
+        batch = []
+        time = queue.pop_batch(batch)
+        assert batch, "pop_batch returned an empty batch"
+        for entry in batch:
+            order.append((time, entry))
+    return order
+
+
+def _random_schedule(rng, n):
+    """A schedule shaped like the simulator's: mostly small forward
+    gaps, occasional bursts at one instant, occasional far jumps."""
+    items = []
+    time = 0.0
+    seq = 0
+    while len(items) < n:
+        roll = rng.random()
+        if roll < 0.25:
+            pass  # another event at the same time (distinct seq)
+        elif roll < 0.85:
+            time += rng.choice((1e-6, 13e-6, 50e-6, 100e-6)) * rng.randint(1, 9)
+        else:
+            time += rng.uniform(0.01, 2.0)  # sparse stretch
+        seq += 1
+        items.append((time, seq))
+    rng.shuffle(items)
+    return items
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_schedules_pop_identically(seed):
+    rng = random.Random(seed)
+    items = _random_schedule(rng, 400)
+    heap, cal = HeapQueue(), CalendarQueue()
+    for time, seq in items:
+        heap.push(time, seq, seq)
+        cal.push(time, seq, seq)
+    assert _drain(cal) == _drain(heap)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_interleaved_push_pop_matches_heap(seed):
+    """Pushes interleaved with pops — the scan position moves while new
+    events keep arriving ahead of it, as in a live simulation."""
+    rng = random.Random(100 + seed)
+    heap, cal = HeapQueue(), CalendarQueue()
+    now = 0.0
+    seq = 0
+    for _ in range(60):
+        for _ in range(rng.randint(1, 12)):
+            seq += 1
+            delay = rng.choice((0.0, 1e-6, 77e-6, 1e-3, 0.4)) * rng.randint(1, 5)
+            heap.push(now + delay, seq, seq)
+            cal.push(now + delay, seq, seq)
+        pops = rng.randint(1, 3)
+        for _ in range(pops):
+            if not len(heap):
+                break
+            h_batch, c_batch = [], []
+            h_time = heap.pop_batch(h_batch)
+            c_time = cal.pop_batch(c_batch)
+            assert c_time == h_time
+            assert c_batch == h_batch
+            now = h_time
+    assert _drain(cal) == _drain(heap)
+
+
+def test_bucket_boundary_rounding_pops_in_order():
+    """Regression: times that are inexact float multiples of the bucket
+    width used to hash into bucket *k* while the scan's recomputed
+    window boundary still claimed bucket *k-1* — popping a later event
+    first.  The scan now accepts entries with the exact hash push used,
+    so placement and acceptance cannot disagree."""
+    heap, cal = HeapQueue(), CalendarQueue()
+    times = sorted(d * step for step in range(1, 9) for d in (0.1, 0.2, 0.3))
+    for seq, time in enumerate(times):
+        heap.push(time, seq, seq)
+        cal.push(time, seq, seq)
+    heap_order = _drain(heap)
+    assert _drain(cal) == heap_order
+    popped_times = [t for t, _ in heap_order]
+    assert popped_times == sorted(popped_times)
+
+
+def test_sparse_schedule_recalibrates_instead_of_scanning():
+    """A schedule far sparser than the bucket width (the classic
+    calendar-queue failure mode) must recalibrate — deterministically —
+    and still pop in exact heap order.  The population must outgrow
+    ``SPILL_AT`` first: below it the hybrid serves pops from its heap
+    regime, where sparseness costs nothing."""
+    heap, cal = HeapQueue(), CalendarQueue()
+    n = CalendarQueue.SPILL_AT + 200
+    for seq in range(n):
+        time = seq * 0.5  # 10,000x the initial 50us width
+        heap.push(time, seq, seq)
+        cal.push(time, seq, seq)
+    assert _drain(cal) == _drain(heap)
+    assert cal.resizes > 0
+
+
+def test_far_future_straggler_does_not_inflate_width():
+    """One watchdog-style event years ahead of a dense cluster must not
+    stretch the derived width until the dense events collapse into a
+    single bucket (the median-gap sizing rule)."""
+    heap, cal = HeapQueue(), CalendarQueue()
+    heap.push(3600.0, 0, 0)
+    cal.push(3600.0, 0, 0)
+    for seq in range(1, 300):
+        time = seq * 20e-6
+        heap.push(time, seq, seq)
+        cal.push(time, seq, seq)
+    assert _drain(cal) == _drain(heap)
+
+
+def test_same_instant_fifo_within_batch():
+    cal = CalendarQueue()
+    for seq in (3, 1, 2):
+        cal.push(1.25, seq, f"e{seq}")
+    out = []
+    assert cal.pop_batch(out) == 1.25
+    assert out == ["e1", "e2", "e3"]
+
+
+def test_grow_and_shrink_preserve_order():
+    heap, cal = HeapQueue(), CalendarQueue()
+    rng = random.Random(7)
+    for seq in range(5000):  # force several doublings
+        time = rng.uniform(0.0, 10.0)
+        heap.push(time, seq, seq)
+        cal.push(time, seq, seq)
+    assert cal.resizes > 0
+    assert _drain(cal) == _drain(heap)  # shrinks on the way down
+
+
+def test_empty_pop_raises():
+    for queue in (HeapQueue(), CalendarQueue()):
+        with pytest.raises(IndexError):
+            queue.pop_batch([])
+
+
+def test_peek_time():
+    for queue in (HeapQueue(), CalendarQueue()):
+        assert queue.peek_time() == float("inf")
+        queue.push(2.0, 1, "a")
+        queue.push(1.0, 2, "b")
+        assert queue.peek_time() == 1.0
+
+
+# -- selection ---------------------------------------------------------
+
+
+def test_make_queue_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_QUEUE", raising=False)
+    assert isinstance(make_queue(), CalendarQueue)
+    assert isinstance(make_queue("heap"), HeapQueue)
+    assert isinstance(make_queue("CALENDAR"), CalendarQueue)
+    assert isinstance(make_queue(HeapQueue), HeapQueue)
+    inst = CalendarQueue()
+    assert make_queue(inst) is inst
+    monkeypatch.setenv("REPRO_QUEUE", "heap")
+    assert isinstance(make_queue(), HeapQueue)
+    with pytest.raises(ValueError, match="unknown event queue"):
+        make_queue("splay")
+
+
+def test_simulator_queue_kwarg_and_repr():
+    sim = Simulator(queue="heap")
+    assert sim.queue.name == "heap"
+    assert "queue=heap" in repr(sim)
+    assert Simulator().queue.name in QUEUES
+
+
+# -- simulator-level equivalence ---------------------------------------
+
+
+def _workload_timeline(queue, seed):
+    """A mixed workload under the given queue: the (now, label) sequence
+    is the observable pop order."""
+    sim = Simulator(queue=queue)
+    rng = random.Random(seed)
+    timeline = []
+
+    def ticker(label, delays):
+        for d in delays:
+            yield sim.timeout(d)
+            timeline.append((sim.now, label))
+
+    def burster(label):
+        for i in range(10):
+            yield sim.timeout(rng.choice((0.0, 1e-6, 0.05)))
+            timeline.append((sim.now, label, i))
+
+    for p in range(6):
+        delays = [rng.uniform(1e-6, 0.3) for _ in range(20)]
+        sim.process(ticker(f"t{p}", delays))
+    for p in range(3):
+        sim.process(burster(f"b{p}"))
+    sim.run()
+    return timeline
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_simulation_timeline_identical_across_queues(seed):
+    heap_tl = _workload_timeline("heap", seed)
+    cal_tl = _workload_timeline("calendar", seed)
+    assert heap_tl == cal_tl
+    h = hashlib.sha256(repr(heap_tl).encode()).hexdigest()
+    c = hashlib.sha256(repr(cal_tl).encode()).hexdigest()
+    assert h == c
+
+
+def test_clock_is_monotone_under_calendar():
+    """Regression for the boundary-rounding bug, at the simulator level:
+    three periodic processes with periods 0.1/0.2/0.3 hit inexact float
+    boundaries that once popped 1.8 before 1.6."""
+    sim = Simulator(queue="calendar")
+    times = []
+
+    def proc(d):
+        for _ in range(8):
+            yield sim.timeout(d)
+            times.append(sim.now)
+
+    for i in range(3):
+        sim.process(proc(0.1 * (i + 1)))
+    sim.run()
+    assert times == sorted(times)
+
+
+# -- scheduler-edge bugfixes ------------------------------------------
+
+
+def test_interrupt_detaches_in_flight_relay():
+    """Interrupting a process whose resume is already scheduled (here: a
+    relay for a yield of an already-processed event) must advance the
+    generator exactly once — with the interrupt, not the stale outcome."""
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("stale")
+    log = []
+
+    def victim():
+        try:
+            log.append(("got", (yield done)))
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause))
+
+    proc = sim.process(victim())
+
+    def interrupter():
+        proc.interrupt("boom")
+        yield sim.timeout(0)
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [("interrupted", "boom")]
+    assert not proc.is_alive
+
+
+def test_interrupt_during_kickstart():
+    """Same hazard at process birth: the kick-start resume is in flight
+    the moment the process is created.  The detached kick-start must not
+    advance the generator after the interrupt terminates it — the body
+    never runs at all."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        log.append("started")
+        yield sim.timeout(1.0)
+        log.append("finished")
+
+    proc = sim.process(victim())
+    proc.interrupt("early")
+    sim.run()
+    assert log == []  # the interrupt landed before the first advance
+    assert not proc.is_alive
+    assert proc.processed and not proc.ok
+
+
+def test_run_until_event_detaches_stop_callback_on_exhaustion():
+    """Regression: ``run(until=ev)`` exhausting the schedule used to
+    leave ``_stop_on`` attached to ``ev`` — a later trigger then raised
+    a spurious StopSimulation out of an unrelated run()."""
+    sim = Simulator()
+    ev = sim.event()
+
+    def ticker():
+        yield sim.timeout(0.5)
+
+    sim.process(ticker())  # something to run dry on
+    with pytest.raises(SimulationError, match="ran out of events"):
+        sim.run(until=ev)
+    assert not ev.callbacks  # detached
+    ev.succeed("late")
+    sim.run()  # must not raise StopSimulation
+    assert ev.processed
+
+
+def test_run_until_horizon_detaches_after_process_exception():
+    sim = Simulator()
+
+    def boom():
+        yield sim.timeout(0.5)
+        raise RuntimeError("boom")
+
+    sim.process(boom())
+    with pytest.raises(RuntimeError):
+        sim.run(until=10.0)
+    sim.run()  # drains the now-inert horizon timeout without stopping early
+    assert sim.now == 10.0
+
+
+def test_conditions_with_preprocessed_children():
+    """AnyOf/AllOf built from events that already fired must complete
+    under the batched loop (children never re-enter the queue)."""
+    sim = Simulator()
+    a = sim.event()
+    a.succeed("a")
+    b = sim.timeout(0.0, "b")
+    sim.run()  # a and b both processed now
+    got = {}
+
+    def waiter():
+        got["any"] = yield sim.any_of([a, b])
+        got["all"] = yield sim.all_of([a, b])
+
+    sim.process(waiter())
+    sim.run()
+    assert got["any"] == {0: "a", 1: "b"}
+    assert got["all"] == {0: "a", 1: "b"}
+
+
+# -- engine structure guards ------------------------------------------
+
+
+def test_hot_classes_have_no_dict():
+    """__slots__ holds on every per-event allocation: a single __dict__
+    creeping in costs ~100 bytes and a dict lookup per attribute on the
+    hottest objects in the engine."""
+    sim = Simulator()
+
+    def noop():
+        yield sim.timeout(0)
+
+    proc = sim.process(noop())
+    for obj in (Event(sim), Timeout(sim, 1.0), proc,
+                _Resume(proc, True, None), HeapQueue(), CalendarQueue()):
+        assert not hasattr(obj, "__dict__"), type(obj).__name__
+
+
+def test_inline_dispatch_covers_every_entry_shape():
+    """The fast loop inlines ``entry._process()`` as a two-way branch on
+    ``entry.__class__ is _Resume``.  That is only sound while exactly two
+    ``_process`` definitions exist in the DES core (Event's and
+    _Resume's) and no Event subclass overrides it — this guard fails the
+    moment someone adds a third."""
+    defs = []
+    for path in sorted(DES_DIR.glob("*.py")):
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            if line.lstrip().startswith("def _process("):
+                defs.append(f"{path.name}:{i}")
+    assert len(defs) == 2, defs
+    assert {d.split(":")[0] for d in defs} == {"events.py", "process.py"}
