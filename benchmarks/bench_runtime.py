@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import timeit
 from pathlib import Path
 
@@ -56,6 +57,23 @@ _HOOK_COUNTERS = (
     "pvm.messages_sent",
     "fx.compute_phases",
 )
+
+
+def runtime_meta() -> dict:
+    """The measurement environment: queue implementation and Python.
+
+    Recorded in ``BENCH_runtime.json`` so a regression can be told apart
+    from a changed environment (different interpreter, different
+    future-event queue) when comparing against the committed baseline.
+    """
+    from repro.des.queues import DEFAULT_QUEUE
+
+    return {
+        "queue": os.environ.get("REPRO_QUEUE", "").strip().lower()
+        or DEFAULT_QUEUE,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
 
 
 def _wall_clock():
@@ -163,6 +181,8 @@ def test_disabled_overhead_within_two_percent():
 def test_bench_result_file_is_current_schema():
     doc = json.loads(RESULT_PATH.read_text())
     assert doc["schema"] == BENCH_SCHEMA_VERSION
+    assert doc["meta"]["queue"] in ("heap", "calendar")
+    assert doc["meta"]["python"]
     assert {r["program"] for r in doc["results"]} == set(PROGRAMS)
     for row in doc["results"]:
         assert row["events_per_second"] > 0
@@ -191,6 +211,7 @@ def main() -> int:
         "scale": SCALE,
         "seed": SEED,
         "reps": REPS,
+        "meta": runtime_meta(),
         "results": results,
         "overhead": overhead,
     }

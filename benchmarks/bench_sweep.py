@@ -1,0 +1,191 @@
+"""Sweep engine benchmark: pooled speedup and warm-cache behaviour.
+
+Measures the acceptance contract of the sharded sweep engine
+(:mod:`repro.harness.sweep`) on a 24-run grid — three replication-scale
+programs x eight seeds:
+
+* a **cold** sweep at ``--jobs 4`` must beat a cold sweep at
+  ``--jobs 1`` by at least :data:`MIN_SPEEDUP` (3x) in wall time, and
+* **re-running** the identical sweep must be ~100% cache hits with a
+  byte-identical manifest.
+
+The speedup assertion needs real parallel hardware: it is enforced only
+when the machine has at least :data:`MIN_CPUS` cores (or when
+``REPRO_BENCH_SWEEP_FORCE=1`` insists).  The measurement itself always
+runs and is recorded in ``BENCH_sweep.json`` — single-core boxes still
+track the trend, they just cannot fail a physically impossible gate.
+The warm-rerun identity contract has no hardware dependency and is
+always enforced.
+
+Run as a pytest module (``pytest benchmarks/bench_sweep.py``) or as a
+script (``python benchmarks/bench_sweep.py``) to rewrite the JSON.
+
+Wall time comes from the sweep engine's own telemetry-clock statistics
+(never a direct ``time.perf_counter()`` call) so this module stays
+simlint-clean under SIM001 with the rest of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_SWEEP_SCHEMA_VERSION = 1
+
+#: The measured grid: 3 programs x 8 seeds = 24 content-addressed keys,
+#: each heavy enough (~0.3 s simulated production) that pool dispatch
+#: overhead stays small against the work it shards.
+GRID = os.environ.get(
+    "REPRO_BENCH_SWEEP_GRID",
+    "program=2dfft,t2dfft,seq scale=smoke seed=0..7",
+)
+
+#: Cold pooled-vs-serial wall-clock ratio the engine must reach.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SWEEP_MIN_SPEEDUP", "3.0"))
+
+#: Cores needed before the speedup gate is physically meaningful.
+MIN_CPUS = 4
+
+JOBS = int(os.environ.get("REPRO_BENCH_SWEEP_JOBS", "4"))
+
+RESULT_PATH = Path(__file__).parent / "BENCH_sweep.json"
+
+
+def speedup_gate_active() -> bool:
+    """Whether this machine can meaningfully fail the 3x speedup gate."""
+    if os.environ.get("REPRO_BENCH_SWEEP_FORCE", "") == "1":
+        return True
+    return (os.cpu_count() or 1) >= MIN_CPUS
+
+
+def run_benchmark(grid: str = GRID, jobs: int = JOBS) -> dict:
+    """Cold serial vs cold pooled vs warm rerun of one grid."""
+    from repro.des.queues import DEFAULT_QUEUE
+    from repro.harness.store import TraceStore
+    from repro.harness.sweep import expand_grid, parse_grid, run_sweep, shutdown_pool
+
+    queue = os.environ.get("REPRO_QUEUE", "").strip().lower() or DEFAULT_QUEUE
+
+    parsed = parse_grid(grid)
+    keys = len(expand_grid(parsed))
+    tmp = Path(tempfile.mkdtemp(prefix="bench-sweep-"))
+    try:
+        serial_store = TraceStore(disk_dir=tmp / "serial")
+        cold_serial = run_sweep(parsed, jobs=1, store=serial_store)
+
+        pooled_store = TraceStore(disk_dir=tmp / "pooled")
+        cold_pooled = run_sweep(parsed, jobs=jobs, store=pooled_store)
+
+        warm = run_sweep(parsed, jobs=jobs, store=pooled_store)
+        shutdown_pool()
+
+        serial_stats = cold_serial.stats()
+        pooled_stats = cold_pooled.stats()
+        warm_stats = warm.stats()
+        speedup = (serial_stats["wall_seconds"] / pooled_stats["wall_seconds"]
+                   if pooled_stats["wall_seconds"] > 0 else 0.0)
+        return {
+            "grid": parsed.describe(),
+            "keys": keys,
+            "jobs": jobs,
+            "cold_serial": serial_stats,
+            "cold_pooled": pooled_stats,
+            "warm_rerun": warm_stats,
+            "speedup": round(speedup, 3),
+            "manifests_identical": (
+                cold_serial.manifest_json() == cold_pooled.manifest_json()
+                == warm.manifest_json()
+            ),
+            "manifest_sha256": cold_serial.manifest_digest(),
+            "warm_hit_rate": (warm_stats["cache_hits"] / keys
+                              if keys else 0.0),
+            "meta": {
+                "python": platform.python_version(),
+                "implementation": platform.python_implementation(),
+                "queue": queue,
+                "cpu_count": os.cpu_count(),
+                "platform": sys.platform,
+            },
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# -- pytest entry points ----------------------------------------------
+
+
+def test_warm_rerun_is_all_hits_with_identical_manifest():
+    """The hardware-independent contract, on a small grid: a repeated
+    sweep is 100% cache hits and its manifest is byte-identical to the
+    cold runs' (serial and pooled alike)."""
+    result = run_benchmark(
+        grid="program=sor,hist scale=smoke seed=0..3", jobs=2)
+    assert result["manifests_identical"], result
+    assert result["warm_hit_rate"] == 1.0, result
+    assert result["warm_rerun"]["produced"] == 0, result
+
+
+def test_cold_pooled_speedup():
+    """The acceptance contract: >= 3x wall-clock at --jobs 4 vs --jobs 1
+    on a cold 24-run grid.  Enforced only on machines with >= 4 cores
+    (REPRO_BENCH_SWEEP_FORCE=1 overrides); measured regardless."""
+    import pytest
+
+    result = run_benchmark()
+    assert result["keys"] >= 24, result["keys"]
+    assert result["manifests_identical"], result
+    assert result["warm_hit_rate"] == 1.0, result
+    if not speedup_gate_active():
+        pytest.skip(
+            f"speedup gate needs >= {MIN_CPUS} cores "
+            f"(have {os.cpu_count()}); measured {result['speedup']:.2f}x"
+        )
+    assert result["speedup"] >= MIN_SPEEDUP, result
+
+
+def test_bench_result_file_is_current_schema():
+    doc = json.loads(RESULT_PATH.read_text())
+    assert doc["schema"] == BENCH_SWEEP_SCHEMA_VERSION
+    assert doc["result"]["keys"] >= 24
+    assert doc["result"]["manifests_identical"]
+    assert doc["result"]["warm_hit_rate"] == 1.0
+    assert doc["result"]["meta"]["python"]
+    assert doc["result"]["meta"]["queue"]
+
+
+# -- script entry point -----------------------------------------------
+
+
+def main() -> int:
+    result = run_benchmark()
+    print(f"grid: {result['grid']}  ({result['keys']} keys)")
+    print(f"cold --jobs 1: {result['cold_serial']['wall_seconds']:8.2f}s")
+    print(f"cold --jobs {result['jobs']}: "
+          f"{result['cold_pooled']['wall_seconds']:8.2f}s "
+          f"({result['speedup']:.2f}x)")
+    print(f"warm rerun:    {result['warm_rerun']['wall_seconds']:8.2f}s "
+          f"({result['warm_rerun']['cache_hits']}/{result['keys']} hits)")
+    print(f"manifests identical: {result['manifests_identical']}")
+    gate = "enforced" if speedup_gate_active() else (
+        f"not enforced ({os.cpu_count()} core(s) < {MIN_CPUS})")
+    print(f"speedup gate >= {MIN_SPEEDUP}x: {gate}")
+    doc = {
+        "schema": BENCH_SWEEP_SCHEMA_VERSION,
+        "result": result,
+    }
+    RESULT_PATH.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"[wrote {RESULT_PATH}]")
+    if speedup_gate_active() and result["speedup"] < MIN_SPEEDUP:
+        print(f"FAILED: speedup {result['speedup']:.2f}x < {MIN_SPEEDUP}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,10 @@ Usage::
     python -m repro trace 2dfft --out trace.npz [--scale ...] [--text]
                                 [--faults "loss=0.01,seed=1"] [--sanitize]
     python -m repro cache stats|clear|warm [--jobs N] [--dir DIR]
+    python -m repro sweep 'program=* scale=smoke seed=0..3' --jobs 4
+                          [--manifest FILE] [--cache-dir DIR]
+    python -m repro sweep submit 'program=sor scale=smoke seed=0..7' --jobs 4
+    python -m repro sweep status [JOB_ID] | fetch JOB_ID
     python -m repro faults show "loss=0.01,stall=2:10-20:3"
     python -m repro faults demo [--scale smoke] [--loss 0.01]
     python -m repro lint [paths...] [--select/--ignore SIMxxx,...]
@@ -41,6 +45,7 @@ per-subsystem wall-time breakdown with optional Chrome-trace and
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -69,7 +74,15 @@ def _cmd_list(args) -> int:
 
 
 def _run_one(exp_id: str, args) -> bool:
-    artifact = ALL_RUNNERS[exp_id](scale=args.scale, seed=args.seed)
+    from .harness import run_ablation, run_experiment
+
+    jobs = getattr(args, "jobs", 1)
+    if exp_id in EXPERIMENTS:
+        artifact = run_experiment(exp_id, scale=args.scale, seed=args.seed,
+                                  jobs=jobs)
+    else:
+        artifact = run_ablation(exp_id, scale=args.scale, seed=args.seed,
+                                jobs=jobs)
     print(artifact.render())
     print()
     if getattr(args, "plot", False) and artifact.series:
@@ -187,6 +200,110 @@ def _cmd_all(args) -> int:
         return 1
     print("all shape criteria pass")
     return 0
+
+
+# -- sweep engine -----------------------------------------------------
+
+
+def _cmd_sweep(args) -> int:
+    """``repro sweep``: synchronous grid sweeps plus the async job queue.
+
+    First positional token selects the mode: ``submit``/``status``/
+    ``fetch`` drive the persistent job queue (``results/.sweep/``);
+    ``exec-job`` is the detached worker entry; anything else is a grid
+    spec swept synchronously in-process.
+    """
+    from .harness import jobs as jobq
+    from .harness.sweep import GridError, parse_grid, run_sweep
+
+    tokens = list(args.tokens)
+    mode = tokens[0] if tokens else ""
+
+    if mode == "exec-job":
+        if len(tokens) != 2:
+            print("usage: repro sweep exec-job JOB_DIR", file=sys.stderr)
+            return 2
+        record = jobq.run_job(tokens[1])
+        print(record.describe())
+        return 0 if record.done else 1
+
+    if mode == "submit":
+        try:
+            grid = parse_grid(tokens[1:])
+        except GridError as exc:
+            print(f"bad grid: {exc}", file=sys.stderr)
+            return 2
+        record = jobq.submit(grid, jobs=args.jobs, root=args.root,
+                             cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+                             foreground=args.foreground)
+        print(record.describe())
+        if record.state == "failed":
+            return 1
+        return 0
+
+    if mode == "status":
+        if len(tokens) > 2:
+            print("usage: repro sweep status [JOB_ID]", file=sys.stderr)
+            return 2
+        if len(tokens) == 2:
+            try:
+                records = [jobq.job_status(tokens[1], root=args.root)]
+            except jobq.JobError as exc:
+                print(f"sweep: {exc}", file=sys.stderr)
+                return 2
+        else:
+            records = jobq.list_jobs(root=args.root)
+            if not records:
+                print(f"no sweep jobs under {args.root}")
+                return 0
+        for record in records:
+            print(record.describe())
+        return 0
+
+    if mode == "fetch":
+        if len(tokens) != 2:
+            print("usage: repro sweep fetch JOB_ID", file=sys.stderr)
+            return 2
+        try:
+            manifest = jobq.fetch(tokens[1], root=args.root)
+        except jobq.JobError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    # Synchronous sweep of a grid spec.
+    _apply_telemetry(args)
+    try:
+        grid = parse_grid(tokens)
+    except GridError as exc:
+        print(f"bad grid: {exc}", file=sys.stderr)
+        return 2
+    store = _store(args)
+    total_hint = grid.size
+    stride = max(1, total_hint // 20)
+
+    def stream(prog, entry) -> None:
+        if prog.done % stride == 0 or prog.done == prog.total:
+            print(f"  {prog.describe()}", file=sys.stderr)
+
+    result = run_sweep(grid, jobs=args.jobs, store=store,
+                       progress=None if args.quiet else stream)
+    for entry in result.failed:
+        print(f"FAILED  {entry.key.describe():<28} {entry.error}",
+              file=sys.stderr)
+    stats = result.stats()
+    print(f"sweep complete: {stats['keys']} keys "
+          f"({stats['cache_hits']} hit, {stats['produced']} produced, "
+          f"{stats['failed']} failed) in {stats['wall_seconds']:.2f}s "
+          f"with {args.jobs} job{'s' if args.jobs != 1 else ''} "
+          f"-> {store.disk_dir}")
+    print(f"manifest sha256={result.manifest_digest()}")
+    if args.manifest:
+        path = result.write_manifest(args.manifest)
+        print(f"[manifest -> {path}]")
+    _print_telemetry_summary()
+    return 1 if result.failed else 0
 
 
 # -- trace cache ------------------------------------------------------
@@ -484,6 +601,9 @@ def main(argv=None) -> int:
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment")
     add_common(p_run)
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="produce the experiment's traces through the "
+                            "sweep engine's worker pool first")
     p_run.add_argument("--export", metavar="DIR",
                        help="export tables/series under DIR")
     p_run.add_argument("--plot", action="store_true",
@@ -492,10 +612,41 @@ def main(argv=None) -> int:
 
     p_all = sub.add_parser("all", help="run every experiment")
     add_common(p_all)
+    p_all.add_argument("--jobs", type=int, default=1,
+                       help="produce each experiment's traces through the "
+                            "sweep engine's worker pool first")
     p_all.add_argument("--export", metavar="DIR")
     p_all.add_argument("--ablations", action="store_true",
                        help="include the ablation studies")
     p_all.set_defaults(fn=_cmd_all)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="sweep a program/scale/seed/faults/queue grid through the "
+             "trace cache (or submit/status/fetch async jobs)",
+    )
+    p_sweep.add_argument(
+        "tokens", nargs="+", metavar="GRID|submit|status|fetch",
+        help="grid tokens like 'program=* scale=smoke seed=0..3', or a "
+             "job-queue verb (submit GRID..., status [JOB], fetch JOB)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="parallel production workers (default: 1)")
+    p_sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help=f"persistent trace cache ({DEFAULT_CACHE_DIR})")
+    p_sweep.add_argument("--manifest", metavar="FILE", default=None,
+                         help="write the deterministic sweep manifest here")
+    p_sweep.add_argument("--root", metavar="DIR",
+                         default=os.path.join("results", ".sweep"),
+                         help="job-queue state directory (results/.sweep)")
+    p_sweep.add_argument("--foreground", action="store_true",
+                         help="run a submitted job in-process instead of "
+                              "detaching a worker")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress streaming progress on stderr")
+    p_sweep.add_argument("--telemetry", action="store_true",
+                         help="collect sweep/pool telemetry counters and "
+                              "print a summary")
+    p_sweep.set_defaults(fn=_cmd_sweep, no_cache=False)
 
     p_tr = sub.add_parser("trace", help="capture one program's packet trace")
     p_tr.add_argument("program")

@@ -11,10 +11,20 @@ from .runner import (
     configure_trace_store,
     default_faults,
     get_trace,
+    prefetch_traces,
     set_default_faults,
     trace_store,
 )
 from .store import TRACE_SCHEMA_VERSION, CacheStats, TraceKey, TraceStore
+from .sweep import (
+    SWEEP_SCHEMA_VERSION,
+    GridError,
+    SweepGrid,
+    SweepResult,
+    expand_grid,
+    parse_grid,
+    run_sweep,
+)
 from .tables import format_matrix, format_table
 
 __all__ = [
@@ -27,8 +37,16 @@ __all__ = [
     "Replication",
     "replicate",
     "get_trace",
+    "prefetch_traces",
     "clear_trace_cache",
     "trace_store",
+    "SWEEP_SCHEMA_VERSION",
+    "GridError",
+    "SweepGrid",
+    "SweepResult",
+    "parse_grid",
+    "expand_grid",
+    "run_sweep",
     "configure_trace_store",
     "set_default_faults",
     "default_faults",

@@ -43,10 +43,11 @@ from ..fx import FxCluster, FxRuntime
 from ..programs import make_program, work_model_for
 from ..pvm import Route
 from .experiments import EXPERIMENTS, Artifact
-from .runner import get_trace
+from .runner import get_trace, prefetch_traces
 from .tables import format_table
 
-__all__ = ["ABLATIONS", "run_ablation"]
+__all__ = ["ABLATIONS", "ABLATION_TRACES", "ablation_trace_specs",
+           "run_ablation"]
 
 
 def abl_bandwidth(scale: str = "default", seed: int = 0) -> Artifact:
@@ -519,12 +520,74 @@ ABLATIONS: Dict[str, object] = {
 }
 
 
-def run_ablation(abl_id: str, scale: str = "default", seed: int = 0) -> Artifact:
-    """Run one registered ablation by id."""
+#: The trace variants each ablation consumes, as warm-style spec
+#: builders ``(scale, seed) -> [(name, scale, seed, overrides), ...]``
+#: mirroring the exact ``get_trace`` calls inside the runner — the
+#: sweep engine's unit of parallelism for ablations.  abl-interfere and
+#: abl-switched build clusters inline and have no cacheable traces.
+ABLATION_TRACES: Dict[str, object] = {
+    "abl-bandwidth": lambda scale, seed: [
+        ("2dfft", scale, seed,
+         {"iterations": 10, "cluster_kwargs": {"bandwidth_bps": mbps * 1e6}})
+        for mbps in (10, 25, 100)
+    ],
+    "abl-window": lambda scale, seed: [("hist", scale, seed)],
+    "abl-fragment": lambda scale, seed: [
+        ("t2dfft", scale, seed,
+         {"iterations": 8, "program_kwargs": {"multi_pack": multi}})
+        for multi in (True, False)
+    ],
+    "abl-route": lambda scale, seed: [
+        ("hist", scale, seed, {"iterations": 20, "route": route})
+        for route in (Route.DIRECT, Route.DEFAULT)
+    ],
+    "abl-ack": lambda scale, seed: [
+        ("2dfft", scale, seed,
+         {"iterations": 6, "cluster_kwargs": {"tcp_kwargs": {"ack_every": e}}})
+        for e in (1, 2, 4)
+    ],
+    "abl-procs": lambda scale, seed: [
+        ("2dfft", scale, seed, {"nprocs": P, "iterations": 8})
+        for P in (2, 4, 8)
+    ],
+    "abl-model": lambda scale, seed: [("hist", scale, seed)],
+    "abl-airshed": lambda scale, seed: [
+        ("airshed", scale, seed,
+         {"iterations": 3, "program_kwargs": {"species": s}})
+        for s in (17, 35, 70)
+    ],
+    "abl-loss": lambda scale, seed: [
+        ("2dfft", scale, seed, {"iterations": 10}),
+        ("2dfft", scale, seed,
+         {"iterations": 10, "faults": f"loss=0.001,seed={seed}"}),
+        ("2dfft", scale, seed,
+         {"iterations": 10, "faults": f"loss=0.01,seed={seed}"}),
+    ],
+}
+
+
+def ablation_trace_specs(abl_id: str, scale: str = "default", seed: int = 0):
+    """The warm-style trace specs one ablation will request (may be [])."""
+    builder = ABLATION_TRACES.get(abl_id)
+    return builder(scale, seed) if builder is not None else []
+
+
+def run_ablation(abl_id: str, scale: str = "default", seed: int = 0,
+                 jobs: int = 1) -> Artifact:
+    """Run one registered ablation by id.
+
+    With ``jobs > 1`` the ablation's trace variants
+    (:data:`ABLATION_TRACES`) are produced first through the sweep
+    engine's persistent worker pool; the runner then analyses a warm
+    cache serially.
+    """
     try:
         runner = ABLATIONS[abl_id]
     except KeyError:
         raise KeyError(
             f"unknown ablation {abl_id!r}; known: {sorted(ABLATIONS)}"
         ) from None
+    specs = ablation_trace_specs(abl_id, scale, seed)
+    if jobs > 1 and specs:
+        prefetch_traces(specs, jobs=jobs)
     return runner(scale=scale, seed=seed)

@@ -48,11 +48,11 @@ from ..core import (
 )
 from ..fx import Pattern, connectivity_matrix, pattern_pairs
 from ..programs import CALIBRATIONS, KERNELS, PROGRAMS, kernel_table, make_program
-from .runner import REPRESENTATIVE_CONNECTIONS, get_trace
+from .runner import REPRESENTATIVE_CONNECTIONS, get_trace, prefetch_traces
 from .tables import format_matrix, format_table
 
-__all__ = ["Artifact", "EXPERIMENTS", "TRACE_PROGRAMS", "run_experiment",
-           "trace_specs"]
+__all__ = ["Artifact", "EXPERIMENTS", "EXPERIMENT_TRACES", "TRACE_PROGRAMS",
+           "run_experiment", "trace_specs"]
 
 #: Programs whose measured traces the experiments consume: the five
 #: kernels plus AIRSHED.  This is the default warm set for
@@ -722,12 +722,44 @@ EXPERIMENTS: Dict[str, Callable[..., Artifact]] = {
 }
 
 
-def run_experiment(exp_id: str, scale: str = "default", seed: int = 0) -> Artifact:
-    """Run one registered experiment by id."""
+#: The measured traces each experiment consumes, as the unit of
+#: parallelism: ``run_experiment(..., jobs=N)`` produces exactly these
+#: through the sweep engine before the (analysis-only) runner executes,
+#: so every ``get_trace`` inside it is a cache hit.  Experiments absent
+#: here (fig1, fig2, qos) are analytic and touch no traces.
+EXPERIMENT_TRACES: Dict[str, Tuple[str, ...]] = {
+    "fig3": KERNELS,
+    "fig4": KERNELS,
+    "fig5": KERNELS,
+    "fig6": KERNELS,
+    "fig7": KERNELS,
+    "fig8": ("airshed",),
+    "fig9": ("2dfft", "t2dfft", "hist", "airshed"),
+    "fig10": ("airshed",),
+    "fig11": ("airshed",),
+    "model": ("2dfft", "seq", "hist"),
+    "twin": KERNELS,
+    "baseline": ("2dfft", "hist", "airshed"),
+}
+
+
+def run_experiment(exp_id: str, scale: str = "default", seed: int = 0,
+                   jobs: int = 1) -> Artifact:
+    """Run one registered experiment by id.
+
+    With ``jobs > 1`` the experiment's declared traces
+    (:data:`EXPERIMENT_TRACES`) are produced first through the sweep
+    engine's persistent worker pool; the runner itself then executes
+    serially against a warm cache.
+    """
     try:
         runner = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
+    programs = EXPERIMENT_TRACES.get(exp_id, ())
+    if jobs > 1 and programs:
+        prefetch_traces([(name, scale, seed) for name in programs],
+                        jobs=jobs)
     return runner(scale=scale, seed=seed)

@@ -42,6 +42,7 @@ def export_artifact(artifact: Artifact, directory: Union[str, Path]) -> Path:
         files.append(path.name)
     from .runner import trace_store
     from .store import TRACE_SCHEMA_VERSION
+    from .sweep import SWEEP_SCHEMA_VERSION, pool_stats
 
     store = trace_store()
     manifest = {
@@ -51,11 +52,15 @@ def export_artifact(artifact: Artifact, directory: Union[str, Path]) -> Path:
         "checks": artifact.checks,
         "series_files": files,
         # Trace provenance: which pipeline produced the inputs, and how
-        # the cache behaved while this artifact was computed.
+        # the cache behaved while this artifact was computed.  Since the
+        # sweep engine fronts all trace production, its schema and pool
+        # activity identify the producer.
         "trace_pipeline": {
             "schema_version": TRACE_SCHEMA_VERSION,
+            "sweep_schema": SWEEP_SCHEMA_VERSION,
             "cache_dir": str(store.disk_dir) if store.disk_dir else None,
             "cache_stats": store.stats.as_dict(),
+            "sweep_pool": pool_stats(),
         },
     }
 

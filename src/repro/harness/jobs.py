@@ -1,0 +1,311 @@
+"""Async sweep jobs: submit / status / fetch over ``results/.sweep/``.
+
+The synchronous sweep engine (:mod:`repro.harness.sweep`) blocks until
+the grid is produced.  This module wraps it in a tiny, file-backed job
+queue so long sweeps can run detached while experiments, figures, and
+humans poll for the artifact:
+
+* :func:`submit` persists a job record under
+  ``results/.sweep/<job_id>/`` and launches a detached worker process
+  (``repro sweep exec-job``) that runs the sweep and writes the
+  deterministic manifest;
+* :func:`job_status` / :func:`list_jobs` read the records back —
+  including streamed ``progress.json`` updates while the sweep runs;
+* :func:`fetch` returns the finished manifest.
+
+Job ids are *content-addressed*: the SHA-256 of (grid, worker count,
+cache directory, schema).  Submitting the same sweep twice is
+idempotent — the second submit finds the finished job and returns it
+instead of re-simulating, exactly like the trace cache underneath.
+
+Every state transition is an atomic ``os.replace`` of ``job.json``, so
+a poll never reads a torn record.  No wall-clock timestamps are stored
+(the records stay byte-reproducible); ordering comes from the state
+machine ``pending -> running -> done | failed``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .sweep import (
+    SWEEP_SCHEMA_VERSION,
+    SweepGrid,
+    expand_grid,
+    parse_grid,
+    run_sweep,
+)
+
+__all__ = [
+    "JOB_SCHEMA_VERSION",
+    "DEFAULT_JOBS_ROOT",
+    "JobError",
+    "JobRecord",
+    "submit",
+    "run_job",
+    "job_status",
+    "list_jobs",
+    "fetch",
+]
+
+JOB_SCHEMA_VERSION = 1
+
+#: Default job-state root, next to the trace cache it feeds.
+DEFAULT_JOBS_ROOT = os.path.join("results", ".sweep")
+
+_STATES = ("pending", "running", "done", "failed")
+
+
+class JobError(ValueError):
+    """Unknown job, bad state transition, or malformed record."""
+
+
+@dataclass
+class JobRecord:
+    """One persisted sweep job."""
+
+    job_id: str
+    grid: str                  # canonical grid spec
+    jobs: int                  # worker processes
+    cache_dir: str
+    state: str = "pending"
+    keys: int = 0              # grid size after dedup
+    error: Optional[str] = None
+    pid: Optional[int] = None
+    manifest_digest: Optional[str] = None
+    progress: dict = field(default_factory=dict)
+    path: Optional[Path] = None
+
+    @property
+    def done(self) -> bool:
+        return self.state == "done"
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "grid": self.grid,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "state": self.state,
+            "keys": self.keys,
+            "error": self.error,
+            "pid": self.pid,
+            "manifest_digest": self.manifest_digest,
+        }
+
+    def describe(self) -> str:
+        extra = f"  {self.error}" if self.error else ""
+        done = self.progress.get("done")
+        frac = f"  {done}/{self.keys}" if done is not None else ""
+        return (f"{self.job_id}  {self.state:<8} jobs={self.jobs} "
+                f"keys={self.keys}{frac}  {self.grid}{extra}")
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _save(record: JobRecord) -> None:
+    _atomic_write(record.path / "job.json",
+                  json.dumps(record.as_dict(), indent=2, sort_keys=True) + "\n")
+
+
+def _load(job_dir: Path) -> JobRecord:
+    try:
+        doc = json.loads((job_dir / "job.json").read_text())
+    except FileNotFoundError:
+        raise JobError(f"no job record at {job_dir}") from None
+    except ValueError as exc:
+        raise JobError(f"unreadable job record at {job_dir}: {exc}") from None
+    record = JobRecord(
+        job_id=doc["job_id"], grid=doc["grid"], jobs=int(doc["jobs"]),
+        cache_dir=doc["cache_dir"], state=doc.get("state", "pending"),
+        keys=int(doc.get("keys", 0)), error=doc.get("error"),
+        pid=doc.get("pid"), manifest_digest=doc.get("manifest_digest"),
+        path=job_dir,
+    )
+    try:
+        record.progress = json.loads((job_dir / "progress.json").read_text())
+    except (OSError, ValueError):
+        record.progress = {}
+    return record
+
+
+def _job_id(grid: SweepGrid, jobs: int, cache_dir: str) -> str:
+    payload = json.dumps(
+        {"schema": JOB_SCHEMA_VERSION, "sweep_schema": SWEEP_SCHEMA_VERSION,
+         "grid": grid.describe(), "jobs": jobs, "cache_dir": cache_dir},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def _alive(pid: Optional[int]) -> bool:
+    if not pid:
+        return False
+    try:
+        os.kill(pid, 0)
+    except (OSError, ProcessLookupError):
+        return False
+    return True
+
+
+def submit(
+    grid: Union[str, SweepGrid],
+    jobs: int = 1,
+    root: Union[str, os.PathLike] = DEFAULT_JOBS_ROOT,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    foreground: bool = False,
+) -> JobRecord:
+    """Persist a sweep job and start it.
+
+    ``foreground=True`` runs the sweep in-process before returning
+    (tests, and the synchronous CLI path); otherwise a detached
+    ``repro sweep exec-job`` child owns it and ``submit`` returns
+    immediately with the job id to poll.
+
+    Submission is idempotent per (grid, jobs, cache dir): a finished or
+    still-running job is returned as-is instead of being restarted.
+    """
+    from .store import DEFAULT_CACHE_DIR
+
+    parsed = parse_grid(grid) if isinstance(grid, str) else grid
+    items = expand_grid(parsed)  # validates; also gives the dedup count
+    cache = str(Path(cache_dir if cache_dir is not None
+                     else DEFAULT_CACHE_DIR).resolve())
+    root = Path(root)
+    job_id = _job_id(parsed, jobs, cache)
+    job_dir = root / job_id
+    if (job_dir / "job.json").exists():
+        existing = _load(job_dir)
+        if existing.state == "done":
+            return existing
+        if existing.state == "running" and _alive(existing.pid):
+            return existing
+        # pending / failed / orphaned-running: restart below.
+    job_dir.mkdir(parents=True, exist_ok=True)
+    record = JobRecord(job_id=job_id, grid=parsed.describe(), jobs=jobs,
+                       cache_dir=cache, keys=len(items), path=job_dir)
+    _save(record)
+    if foreground:
+        return run_job(job_dir)
+    log = open(job_dir / "log.txt", "ab")
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "sweep", "exec-job", str(job_dir)],
+        stdout=log, stderr=subprocess.STDOUT,
+        start_new_session=True, close_fds=True,
+    )
+    log.close()
+    record.pid = child.pid
+    _save(record)
+    return record
+
+
+def run_job(job_dir: Union[str, os.PathLike]) -> JobRecord:
+    """Execute a persisted job (the ``exec-job`` worker entry point).
+
+    Streams counts into ``progress.json``, writes ``manifest.json`` on
+    success, and records the terminal state atomically.  Failed keys
+    fail the *job* state but still leave a manifest — partial sweeps
+    are inspectable, and resubmitting resumes from the cache.
+    """
+    job_dir = Path(job_dir)
+    record = _load(job_dir)
+    record.state = "running"
+    record.pid = os.getpid()
+    record.error = None
+    _save(record)
+    try:
+        from .store import TraceStore
+
+        store = TraceStore(disk_dir=record.cache_dir)
+
+        def stream(prog, entry) -> None:
+            # Throttle: every 8 completions plus the final one.
+            if prog.done % 8 == 0 or prog.done == prog.total:
+                _atomic_write(job_dir / "progress.json", json.dumps({
+                    "total": prog.total, "done": prog.done,
+                    "hits": prog.hits, "produced": prog.produced,
+                    "failed": prog.failed,
+                    "elapsed_seconds": round(prog.elapsed, 3),
+                }, sort_keys=True) + "\n")
+
+        result = run_sweep(parse_grid(record.grid), jobs=record.jobs,
+                           store=store, progress=stream)
+        result.write_manifest(job_dir / "manifest.json")
+        _atomic_write(job_dir / "stats.json",
+                      json.dumps(result.stats(), indent=2, sort_keys=True)
+                      + "\n")
+        record.manifest_digest = result.manifest_digest()
+        if result.ok:
+            record.state = "done"
+        else:
+            record.state = "failed"
+            record.error = (f"{len(result.failed)} of {len(result.entries)} "
+                            f"keys failed")
+    except Exception as exc:  # noqa: BLE001 - job state must land
+        record.state = "failed"
+        record.error = f"{type(exc).__name__}: {exc}"
+    record.pid = None
+    _save(record)
+    return record
+
+
+def job_status(
+    job_id: str,
+    root: Union[str, os.PathLike] = DEFAULT_JOBS_ROOT,
+) -> JobRecord:
+    """The current record of one job (progress included)."""
+    record = _load(Path(root) / job_id)
+    if record.state == "running" and not _alive(record.pid):
+        record.state = "failed"
+        record.error = "worker process disappeared"
+        _save(record)
+    return record
+
+
+def list_jobs(root: Union[str, os.PathLike] = DEFAULT_JOBS_ROOT) -> List[JobRecord]:
+    """Every job under ``root``, sorted by id (skips unreadable dirs)."""
+    root = Path(root)
+    if not root.exists():
+        return []
+    records = []
+    for job_dir in sorted(root.iterdir()):
+        if not (job_dir / "job.json").exists():
+            continue
+        try:
+            records.append(job_status(job_dir.name, root=root))
+        except JobError:
+            continue
+    return records
+
+
+def fetch(
+    job_id: str,
+    root: Union[str, os.PathLike] = DEFAULT_JOBS_ROOT,
+) -> dict:
+    """The finished job's manifest (raises unless the job is done)."""
+    record = job_status(job_id, root=root)
+    if record.state != "done":
+        raise JobError(
+            f"job {job_id} is {record.state}"
+            + (f" ({record.error})" if record.error else "")
+        )
+    manifest_path = record.path / "manifest.json"
+    try:
+        return json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise JobError(f"unreadable manifest for {job_id}: {exc}") from None

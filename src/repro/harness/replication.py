@@ -67,15 +67,15 @@ def replicate(
     Metrics that are not finite numbers for every seed are dropped from
     the aggregation (some experiments report NaN placeholders).
 
-    ``jobs > 1`` pre-warms the trace store in parallel — one worker per
-    (program, seed) production job — before the (cheap, trace-reusing)
+    ``jobs > 1`` produces the (program, seed) grid through the sweep
+    engine's persistent worker pool before the (cheap, trace-reusing)
     per-seed analyses run serially.  The full cross-process speedup
     needs the store's disk layer (see ``repro cache``); without it the
-    warm degrades to serial in-process production.
+    sweep degrades to serial in-process production.
 
     ``faults`` (a fault-plan spec) replicates the experiment on a
     degraded network: it is installed as the process-wide default for
-    the duration of the run (and restored after), so warming and the
+    the duration of the run (and restored after), so the sweep and the
     per-seed analyses see the same faulted traces.
     """
     if not seeds:
@@ -86,9 +86,9 @@ def replicate(
     try:
         if jobs > 1:
             from .experiments import trace_specs
-            from .runner import trace_store
+            from .runner import prefetch_traces
 
-            trace_store().warm(
+            prefetch_traces(
                 trace_specs(scale=scale, seeds=seeds, faults=faults),
                 jobs=jobs,
             )

@@ -19,6 +19,7 @@ from .store import TraceStore
 
 __all__ = [
     "get_trace",
+    "prefetch_traces",
     "clear_trace_cache",
     "trace_store",
     "configure_trace_store",
@@ -101,6 +102,37 @@ def get_trace(name: str, scale: str = "default", seed: int = 0,
     if _DEFAULT_FAULTS is not None and "faults" not in overrides:
         overrides["faults"] = _DEFAULT_FAULTS
     return _STORE.get(name, scale=scale, seed=seed, **overrides)
+
+
+def prefetch_traces(specs, jobs: int = 1):
+    """Produce a batch of traces through the sweep engine, cache first.
+
+    ``specs`` are warm-style ``(name, scale, seed[, overrides])`` tuples
+    (deduplicated before fan-out).  With ``jobs > 1`` the cache misses
+    shard across the persistent sweep worker pool; later
+    :func:`get_trace` calls for the same keys then hit the cache instead
+    of simulating serially.  The process-wide default fault plan applies
+    exactly as it would in :func:`get_trace`.  Returns the
+    :class:`~repro.harness.sweep.SweepResult` (failures are recorded per
+    key, not raised — the serial fallback in the caller will surface
+    them with full tracebacks).
+    """
+    from .sweep import run_sweep
+
+    if _DEFAULT_FAULTS is not None:
+        patched = []
+        for spec in specs:
+            if len(spec) == 3:
+                name, scale, seed = spec
+                overrides = {}
+            else:
+                name, scale, seed, overrides = spec
+                overrides = dict(overrides)
+            overrides.setdefault("faults", _DEFAULT_FAULTS)
+            patched.append((name, scale, seed, overrides))
+        specs = patched
+    maybe_count("harness.prefetch")
+    return run_sweep(specs, jobs=jobs, store=_STORE)
 
 
 def clear_trace_cache() -> None:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import itertools
 import json
 import os
 import zipfile
@@ -188,32 +189,24 @@ class WarmResult:
         return self.error is None
 
 
-def _produce_entry(args):
-    """Pool worker: produce one trace and write it through the disk cache.
-
-    Module-level so it pickles under the ``spawn`` start method.  Returns
-    (cache digest, trace sha256, packet count, produced?, error).  A
-    failing trace reports its error instead of poisoning the whole pool.
-    """
-    name, scale, seed, override_kwargs, cache_digest, cache_dir = args
-    directory = Path(cache_dir)
-    npz = directory / f"{cache_digest}.npz"
-    try:
-        if npz.exists():
-            trace = load_npz(npz)
-            return cache_digest, trace_digest(trace), len(trace), False, None
-        trace = run_measured(name, scale=scale, seed=seed, **override_kwargs)
-        sha = _write_entry(directory, cache_digest, trace,
-                           {"name": name, "scale": scale, "seed": seed,
-                            "overrides": override_kwargs})
-        return cache_digest, sha, len(trace), True, None
-    except Exception as exc:
-        return cache_digest, "", 0, False, f"{type(exc).__name__}: {exc}"
+#: Monotone per-process counter distinguishing temp files written by
+#: concurrent threads of one process (the pid alone distinguishes
+#: processes).  Concurrent writers of the *same* entry are safe either
+#: way: each writes its own temp file and the final ``os.replace`` is
+#: atomic, so readers see a complete old or complete new entry, never a
+#: torn one — and determinism makes old and new byte-identical.
+_TMP_IDS = itertools.count()
 
 
 def _write_entry(directory: Path, digest: str, trace: PacketTrace,
                  describe: dict) -> str:
-    """Write the npz + metadata pair for one cache entry atomically."""
+    """Write the npz + metadata pair for one cache entry atomically.
+
+    The npz lands before its metadata sidecar, so a sidecar's presence
+    implies a readable trace; both are written to unique temp files and
+    renamed into place (two workers racing on the same key can never
+    leave a torn entry).
+    """
     directory.mkdir(parents=True, exist_ok=True)
     sha = trace_digest(trace)
     save_npz_atomic(trace, directory / f"{digest}.npz")
@@ -221,12 +214,18 @@ def _write_entry(directory: Path, digest: str, trace: PacketTrace,
         "schema": TRACE_SCHEMA_VERSION,
         "key": describe,
         "packets": len(trace),
+        "sim_seconds": float(trace.duration),
         "trace_sha256": sha,
     }
     meta_path = directory / f"{digest}.json"
-    tmp = meta_path.with_name(f".{meta_path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(meta, indent=2, default=str))
-    os.replace(tmp, meta_path)
+    tmp = meta_path.with_name(
+        f".{meta_path.name}.{os.getpid()}.{next(_TMP_IDS)}.tmp"
+    )
+    try:
+        tmp.write_text(json.dumps(meta, indent=2, default=str))
+        os.replace(tmp, meta_path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return sha
 
 
@@ -405,65 +404,25 @@ class TraceStore:
         Returns one :class:`WarmResult` per unique key, in spec order.
         Workers inherit the DES's determinism, so the recorded
         ``trace_sha256`` values are identical however the work is split.
+
+        This is a thin facade over the sweep engine
+        (:func:`repro.harness.sweep.run_sweep`): requested keys are
+        deduplicated up front, cache hits short-circuit without touching
+        a worker, and misses shard across the *persistent* process-wide
+        pool (:func:`~repro.harness.sweep.shared_pool`) rather than a
+        fresh ``multiprocessing.Pool`` per call.
         """
-        keys: List[Tuple[TraceKey, dict]] = []
-        seen = set()
-        for spec in specs:
-            if len(spec) == 3:
-                name, scale, seed = spec
-                overrides: dict = {}
-            else:
-                name, scale, seed, overrides = spec
-            key = TraceKey.make(name, scale=scale, seed=seed, **overrides)
-            if key not in seen:
-                seen.add(key)
-                keys.append((key, overrides))
+        from .sweep import as_work_items, run_sweep
 
-        results: List[WarmResult] = []
-        if jobs > 1 and self.disk_dir is not None and len(keys) > 1:
-            from multiprocessing import get_context
-
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
-            jobs = min(jobs, len(keys))
-            args = [
-                (k.name, k.scale, k.seed, ov, k.digest(), str(self.disk_dir))
-                for k, ov in keys
-            ]
-            # fork keeps worker start cheap where available; spawn is the
-            # portable fallback and _produce_entry is import-safe either way.
-            methods = ("fork", "spawn")
-            ctx = None
-            for m in methods:
-                try:
-                    ctx = get_context(m)
-                    break
-                except ValueError:
-                    continue
-            with ctx.Pool(processes=jobs) as pool:
-                outcomes = pool.map(_produce_entry, args)
-            for (key, _ov), (digest, sha, packets, produced, error) in zip(
-                    keys, outcomes):
-                if produced:
-                    self.stats.disk_writes += 1
-                results.append(
-                    WarmResult(key, digest, sha, packets, produced, error)
-                )
-        else:
-            for key, overrides in keys:
-                cached = key in self._lru or self._disk_path(key) is not None
-                try:
-                    trace = self.get(key.name, scale=key.scale,
-                                     seed=key.seed, **overrides)
-                except Exception as exc:
-                    results.append(
-                        WarmResult(key, key.digest(), "", 0, False,
-                                   f"{type(exc).__name__}: {exc}")
-                    )
-                    continue
-                results.append(
-                    WarmResult(key, key.digest(), trace_digest(trace),
-                               len(trace), not cached)
-                )
+        keys = as_work_items(specs)
+        outcome = run_sweep(keys, jobs=jobs, store=self)
+        by_key = outcome.by_key()
+        results = [
+            WarmResult(key, entry.digest, entry.trace_sha256, entry.packets,
+                       entry.produced, entry.error)
+            for key, _overrides in keys
+            for entry in (by_key[key],)
+        ]
         if load:
             for (key, overrides), result in zip(keys, results):
                 if result.ok:

@@ -1,0 +1,722 @@
+"""Sharded sweep engine over the content-addressed trace cache.
+
+The paper's methodology is a grid — program x scale x seed x faults x
+queue — and every harness front end (experiments, ablations,
+replication, figures, benchmarks) consumes traces drawn from that grid.
+This module is the one production engine behind all of them:
+
+* :func:`parse_grid` expands a compact spec
+  (``program=sor,2dfft scale=smoke seed=0..7 queue=heap,calendar``)
+  into deduplicated, content-addressed :class:`~.store.TraceKey` work
+  items, in a deterministic order;
+* :func:`run_sweep` shards the missing keys across a **persistent**
+  multiprocessing worker pool (:func:`shared_pool` — initialized once
+  per process with the program registry, reused by every later sweep
+  and by :meth:`TraceStore.warm`), short-circuits cache hits without
+  touching a worker, and streams progress (done/hit/produced/failed,
+  runs/sec, ETA) through a callback;
+* the outcome is a :class:`SweepResult` whose :meth:`~SweepResult.manifest`
+  is **deterministic**: sorted keys, per-trace SHA-256 digests, packet
+  counts and simulated seconds — byte-identical whether the sweep ran
+  serially, across N workers, or resumed over a warm cache.
+
+Wall-clock statistics (worker seconds, throughput, ETA) are reported
+alongside but deliberately excluded from the manifest, which is the
+reproducibility artifact.  The async job-queue front end lives in
+:mod:`repro.harness.jobs`; the CLI entry point is ``repro sweep``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..capture import load_npz, trace_digest
+from ..telemetry import Telemetry, maybe_count, process_telemetry
+from .store import TRACE_SCHEMA_VERSION, TraceKey, TraceStore, _write_entry
+
+__all__ = [
+    "SWEEP_SCHEMA_VERSION",
+    "GridError",
+    "SweepGrid",
+    "parse_grid",
+    "expand_grid",
+    "SweepEntry",
+    "SweepProgress",
+    "SweepResult",
+    "run_sweep",
+    "shared_pool",
+    "shutdown_pool",
+    "pool_stats",
+]
+
+#: Manifest layout version.  Bump when the manifest schema changes so
+#: downstream consumers (CI byte-identity gates, job fetch) can detect
+#: incompatible files.
+SWEEP_SCHEMA_VERSION = 1
+
+#: Telemetry clock (never a direct ``time.perf_counter()`` call, so the
+#: engine stays simlint-clean under SIM001 with the rest of ``src``).
+_WALL = Telemetry(label="sweep-clock").clock
+
+
+class GridError(ValueError):
+    """A malformed or unknown grid-spec token."""
+
+
+# ---------------------------------------------------------------------------
+# Grid spec: parse and expand
+# ---------------------------------------------------------------------------
+
+#: Axes with dedicated value parsing; everything else is rejected so a
+#: typo (``sclae=smoke``) fails loudly instead of silently running the
+#: default grid.
+_KNOWN_AXES = ("program", "scale", "seed", "iterations", "nprocs", "route",
+               "queue", "faults")
+
+_INT_AXES = ("seed", "iterations", "nprocs")
+
+_SCALES = ("smoke", "default", "full")
+
+
+def _int_values(axis: str, text: str) -> List[int]:
+    """``0..7`` (inclusive range) or plain integers."""
+    if ".." in text:
+        lo_s, _, hi_s = text.partition("..")
+        try:
+            lo, hi = int(lo_s), int(hi_s)
+        except ValueError:
+            raise GridError(f"bad {axis} range {text!r} (want N..M)") from None
+        if hi < lo:
+            raise GridError(f"empty {axis} range {text!r}")
+        return list(range(lo, hi + 1))
+    try:
+        return [int(text)]
+    except ValueError:
+        raise GridError(f"bad {axis} value {text!r} (want an integer)") from None
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A parsed sweep grid: ordered (axis, values) pairs."""
+
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...]
+
+    def values(self, axis: str, default=None):
+        for name, vals in self.axes:
+            if name == axis:
+                return list(vals)
+        return default
+
+    @property
+    def size(self) -> int:
+        """Cartesian-product size before deduplication."""
+        n = 1
+        for _, vals in self.axes:
+            n *= len(vals)
+        return n
+
+    def describe(self) -> str:
+        """A canonical spec string that re-parses to an equal grid."""
+        def render(v) -> str:
+            if v is None:
+                return "none"
+            return getattr(v, "value", v) if not isinstance(v, str) else v
+
+        tokens = []
+        for name, vals in self.axes:
+            sep = ";" if name == "faults" else ","
+            tokens.append(f"{name}={sep.join(str(render(v)) for v in vals)}")
+        return " ".join(tokens)
+
+
+def parse_grid(spec: Union[str, Sequence[str]]) -> SweepGrid:
+    """Parse grid tokens into a :class:`SweepGrid`.
+
+    ``spec`` is one string or a sequence of ``axis=values`` tokens
+    (whitespace-separated either way).  Values are comma-separated;
+    integer axes accept ``N..M`` inclusive ranges; ``program=*`` means
+    the experiments' warm set; ``faults`` values are separated by ``;``
+    because fault-plan specs contain commas themselves
+    (``faults=loss=0.001;loss=0.01,seed=1``), with ``none`` naming the
+    fault-free run.
+    """
+    from ..programs import PROGRAMS
+
+    if isinstance(spec, str):
+        tokens = spec.split()
+    else:
+        tokens = [t for chunk in spec for t in str(chunk).split()]
+    if not tokens:
+        raise GridError("empty grid spec")
+
+    axes: List[Tuple[str, Tuple[object, ...]]] = []
+    seen = set()
+    for token in tokens:
+        axis, eq, rest = token.partition("=")
+        axis = axis.strip().lower()
+        if axis == "prog":
+            axis = "program"
+        if not eq or not rest:
+            raise GridError(f"bad token {token!r} (want axis=value[,value...])")
+        if axis not in _KNOWN_AXES:
+            raise GridError(
+                f"unknown axis {axis!r}; known: {', '.join(_KNOWN_AXES)}"
+            )
+        if axis in seen:
+            raise GridError(f"axis {axis!r} given twice")
+        seen.add(axis)
+
+        values: List[object] = []
+        if axis == "faults":
+            from ..faults import FaultPlan
+
+            for part in rest.split(";"):
+                part = part.strip()
+                if not part:
+                    continue
+                if part.lower() == "none":
+                    values.append(None)
+                    continue
+                try:
+                    FaultPlan.parse(part)  # validate early, fail loudly
+                except ValueError as exc:
+                    raise GridError(f"bad fault plan {part!r}: {exc}") from None
+                # Keep the spec *string*: it round-trips through
+                # describe()/parse_grid, and TraceKey.make canonicalizes
+                # it so equal plans still dedup to one key.
+                values.append(part)
+        else:
+            for part in rest.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                if axis in _INT_AXES:
+                    values.extend(_int_values(axis, part))
+                elif axis == "program":
+                    if part == "*":
+                        from .experiments import TRACE_PROGRAMS
+
+                        values.extend(TRACE_PROGRAMS)
+                    elif part in PROGRAMS:
+                        values.append(part)
+                    else:
+                        raise GridError(
+                            f"unknown program {part!r}; "
+                            f"known: {', '.join(PROGRAMS)} (or *)"
+                        )
+                elif axis == "scale":
+                    if part not in _SCALES:
+                        raise GridError(
+                            f"unknown scale {part!r}; known: {', '.join(_SCALES)}"
+                        )
+                    values.append(part)
+                elif axis == "route":
+                    from ..pvm import Route
+
+                    try:
+                        values.append(Route(part.lower()))
+                    except ValueError:
+                        known = ", ".join(r.value for r in Route)
+                        raise GridError(
+                            f"unknown route {part!r}; known: {known}"
+                        ) from None
+                elif axis == "queue":
+                    from ..des.queues import QUEUES
+
+                    if part.lower() not in QUEUES:
+                        raise GridError(
+                            f"unknown queue {part!r}; "
+                            f"known: {', '.join(sorted(QUEUES))}"
+                        )
+                    values.append(part.lower())
+        if not values:
+            raise GridError(f"axis {axis!r} has no values in {token!r}")
+        # Dedup values while preserving first-seen order.
+        unique: List[object] = []
+        for v in values:
+            if v not in unique:
+                unique.append(v)
+        axes.append((axis, tuple(unique)))
+
+    if "program" not in seen:
+        raise GridError("grid needs a program axis (e.g. program=sor or program=*)")
+    return SweepGrid(axes=tuple(axes))
+
+
+def _grid_points(grid: SweepGrid):
+    """Cartesian product of the grid's axes, as axis->value dicts."""
+    points: List[Dict[str, object]] = [{}]
+    for axis, values in grid.axes:
+        points = [dict(p, **{axis: v}) for p in points for v in values]
+    return points
+
+
+def expand_grid(grid: SweepGrid) -> List[Tuple[TraceKey, dict]]:
+    """Deduplicated ``(key, run_measured-overrides)`` work items.
+
+    The returned order is deterministic: sorted by the key's
+    ``(name, scale, seed, overrides)`` — independent of axis order in
+    the spec, so a reordered spec produces the same manifest.
+    """
+    items: Dict[TraceKey, dict] = {}
+    for point in _grid_points(grid):
+        overrides: Dict[str, object] = {}
+        for axis in ("iterations", "nprocs", "route"):
+            if axis in point:
+                overrides[axis] = point[axis]
+        if point.get("faults") is not None:
+            overrides["faults"] = point["faults"]
+        if "queue" in point:
+            # The event queue changes speed, never bytes; it reaches the
+            # simulator through the cluster construction kwargs.
+            overrides["cluster_kwargs"] = {"queue": point["queue"]}
+        key = TraceKey.make(
+            point["program"],
+            scale=point.get("scale", "default"),
+            seed=point.get("seed", 0),
+            **overrides,
+        )
+        items.setdefault(key, overrides)
+    return sorted(
+        items.items(),
+        key=lambda kv: (kv[0].name, kv[0].scale, kv[0].seed, kv[0].overrides),
+    )
+
+
+def as_work_items(specs: Iterable) -> List[Tuple[TraceKey, dict]]:
+    """Normalize warm-style ``(name, scale, seed[, overrides])`` specs
+    (or ready ``(TraceKey, overrides)`` pairs) into deduped work items,
+    preserving first-seen order."""
+    items: "Dict[TraceKey, dict]" = {}
+    for spec in specs:
+        if isinstance(spec[0], TraceKey):
+            key, overrides = spec
+        elif len(spec) == 3:
+            name, scale, seed = spec
+            overrides = {}
+            key = TraceKey.make(name, scale=scale, seed=seed)
+        else:
+            name, scale, seed, overrides = spec
+            key = TraceKey.make(name, scale=scale, seed=seed, **overrides)
+        items.setdefault(key, overrides)
+    return list(items.items())
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+
+_POOL = None
+_POOL_JOBS = 0
+_POOL_STATS = {"started": 0, "reused": 0, "tasks": 0}
+_ATEXIT_REGISTERED = False
+
+
+def _worker_init() -> None:
+    """Run once per worker: pre-bind the program registry and cluster
+    machinery so every task after the first pays simulation cost only.
+    (Under the ``fork`` start method imports are inherited; under
+    ``spawn`` this is what makes the pool *persistent* rather than
+    paying the import tax per task.)"""
+    from ..fx import FxCluster  # noqa: F401 - imported for side effects
+    from ..programs import PROGRAMS  # noqa: F401
+
+
+def _pool_context():
+    from multiprocessing import get_context
+
+    for method in ("fork", "spawn"):
+        try:
+            return get_context(method)
+        except ValueError:  # pragma: no cover - platform-dependent
+            continue
+    raise RuntimeError("no usable multiprocessing start method")
+
+
+def shared_pool(jobs: int):
+    """The process-wide persistent worker pool, sized to ``jobs``.
+
+    Created once and reused by every sweep and by
+    :meth:`TraceStore.warm`; asking for a different size replaces it.
+    Workers are initialized with the program registry
+    (:func:`_worker_init`) so repeated sweeps never re-pay startup.
+    """
+    global _POOL, _POOL_JOBS, _ATEXIT_REGISTERED
+    if jobs < 2:
+        raise ValueError(f"a worker pool needs jobs >= 2, got {jobs}")
+    if _POOL is not None and _POOL_JOBS == jobs:
+        _POOL_STATS["reused"] += 1
+        maybe_count("sweep.pool.reused")
+        return _POOL
+    shutdown_pool()
+    ctx = _pool_context()
+    _POOL = ctx.Pool(processes=jobs, initializer=_worker_init)
+    _POOL_JOBS = jobs
+    _POOL_STATS["started"] += 1
+    maybe_count("sweep.pool.started")
+    if not _ATEXIT_REGISTERED:
+        atexit.register(shutdown_pool)
+        _ATEXIT_REGISTERED = True
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Terminate the persistent pool (tests, atexit)."""
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+def pool_stats() -> Dict[str, int]:
+    """Lifetime pool counters: started / reused / tasks dispatched."""
+    return dict(_POOL_STATS, jobs=_POOL_JOBS, alive=int(_POOL is not None))
+
+
+def _produce_one(task):
+    """Pool worker: produce one trace through the disk cache.
+
+    Module-level so it pickles under ``spawn``.  Returns ``(digest,
+    trace sha256, packets, simulated seconds, produced?, worker wall
+    seconds, error)``.  A failure is reported, never raised — one bad
+    key must not poison the sweep.
+    """
+    from ..programs import run_measured
+
+    name, scale, seed, overrides, digest, cache_dir = task
+    directory = Path(cache_dir)
+    npz = directory / f"{digest}.npz"
+    t0 = _WALL()
+    try:
+        if npz.exists():
+            # Raced or resumed: another worker (or a previous sweep)
+            # already landed this entry.
+            trace = load_npz(npz)
+            return (digest, trace_digest(trace), len(trace),
+                    float(trace.duration), False, _WALL() - t0, None)
+        trace = run_measured(name, scale=scale, seed=seed, **overrides)
+        sha = _write_entry(directory, digest, trace,
+                           {"name": name, "scale": scale, "seed": seed,
+                            "overrides": overrides})
+        return (digest, sha, len(trace), float(trace.duration), True,
+                _WALL() - t0, None)
+    except Exception as exc:  # noqa: BLE001 - reported per key
+        return (digest, "", 0, 0.0, False, _WALL() - t0,
+                f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Sweep execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepEntry:
+    """Outcome for one work key."""
+
+    key: TraceKey
+    digest: str
+    trace_sha256: str = ""
+    packets: int = 0
+    sim_seconds: float = 0.0
+    produced: bool = False     # simulated during this sweep
+    cache_hit: bool = False    # served from the disk/memory cache
+    error: Optional[str] = None
+    wall_seconds: float = 0.0  # worker wall time (excluded from manifest)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def manifest_row(self) -> dict:
+        row = {
+            "program": self.key.name,
+            "scale": self.key.scale,
+            "seed": self.key.seed,
+            "overrides": {k: json.loads(v) for k, v in self.key.overrides},
+            "digest": self.digest,
+            "trace_sha256": self.trace_sha256,
+            "packets": self.packets,
+            "sim_seconds": round(self.sim_seconds, 9),
+        }
+        if self.error is not None:
+            row["error"] = self.error
+        return row
+
+
+@dataclass
+class SweepProgress:
+    """Streaming progress, delivered to the callback after every key."""
+
+    total: int
+    done: int = 0
+    hits: int = 0
+    produced: int = 0
+    failed: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Completed keys per wall second."""
+        return self.done / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float:
+        if self.done == 0 or self.done >= self.total:
+            return 0.0
+        return (self.total - self.done) / max(self.rate, 1e-9)
+
+    def describe(self) -> str:
+        return (f"{self.done}/{self.total} done "
+                f"({self.hits} hit, {self.produced} produced, "
+                f"{self.failed} failed) "
+                f"{self.rate:.1f} runs/s eta {self.eta_seconds:.0f}s")
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep: deterministic entries plus wall statistics."""
+
+    entries: List[SweepEntry] = field(default_factory=list)
+    jobs: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for e in self.entries if e.cache_hit)
+
+    @property
+    def produced(self) -> int:
+        return sum(1 for e in self.entries if e.produced)
+
+    @property
+    def failed(self) -> List[SweepEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def by_key(self) -> Dict[TraceKey, SweepEntry]:
+        return {e.key: e for e in self.entries}
+
+    def manifest(self) -> dict:
+        """The deterministic sweep manifest.
+
+        Identical for serial, pooled, and resumed executions of the
+        same grid: it contains only content (sorted keys, trace
+        SHA-256s, packet counts, simulated seconds) — never wall-clock
+        measurements or hit/produced provenance.
+        """
+        return {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "keys": len(self.entries),
+            "entries": [e.manifest_row() for e in self.entries],
+        }
+
+    def manifest_json(self) -> str:
+        return json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n"
+
+    def manifest_digest(self) -> str:
+        import hashlib
+
+        return hashlib.sha256(self.manifest_json().encode()).hexdigest()
+
+    def write_manifest(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(self.manifest_json())
+        os.replace(tmp, path)
+        return path
+
+    def stats(self) -> dict:
+        """Wall statistics (reported beside, never inside, the manifest)."""
+        packets = sum(e.packets for e in self.entries if e.ok)
+        return {
+            "keys": len(self.entries),
+            "cache_hits": self.hits,
+            "produced": self.produced,
+            "failed": len(self.failed),
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "keys_per_second": round(
+                len(self.entries) / self.wall_seconds, 3
+            ) if self.wall_seconds > 0 else 0.0,
+            "packets": packets,
+            "sim_seconds": round(
+                sum(e.sim_seconds for e in self.entries if e.ok), 6
+            ),
+        }
+
+
+def _peek_cached(store: TraceStore, key: TraceKey) -> Optional[SweepEntry]:
+    """A finished :class:`SweepEntry` iff the key is already cached.
+
+    Prefers the entry's metadata sidecar (sha256/packets/duration) so a
+    fully warm sweep never loads a trace, let alone touches a worker;
+    falls back to reading the npz when the sidecar predates the
+    ``sim_seconds`` field or is unreadable.
+    """
+    if store.disk_dir is None:
+        return None
+    digest = key.digest()
+    npz = store.disk_dir / f"{digest}.npz"
+    if not npz.exists():
+        return None
+    meta_path = store.disk_dir / f"{digest}.json"
+    try:
+        meta = json.loads(meta_path.read_text())
+        return SweepEntry(
+            key=key, digest=digest,
+            trace_sha256=meta["trace_sha256"],
+            packets=int(meta["packets"]),
+            sim_seconds=float(meta["sim_seconds"]),
+            cache_hit=True,
+        )
+    except (OSError, ValueError, KeyError):
+        pass
+    try:
+        trace = load_npz(npz)
+    except Exception:  # noqa: BLE001 - corrupt entry: re-produce it
+        return None
+    return SweepEntry(
+        key=key, digest=digest, trace_sha256=trace_digest(trace),
+        packets=len(trace), sim_seconds=float(trace.duration),
+        cache_hit=True,
+    )
+
+
+def _produce_serial(store: TraceStore, key: TraceKey,
+                    overrides: dict) -> SweepEntry:
+    """In-process production through the store (jobs=1 / memory-only)."""
+    digest = key.digest()
+    cached = key in store
+    t0 = _WALL()
+    try:
+        trace = store.get(key.name, scale=key.scale, seed=key.seed,
+                          **overrides)
+    except Exception as exc:  # noqa: BLE001 - reported per key
+        return SweepEntry(key=key, digest=digest, wall_seconds=_WALL() - t0,
+                          error=f"{type(exc).__name__}: {exc}")
+    return SweepEntry(
+        key=key, digest=digest, trace_sha256=trace_digest(trace),
+        packets=len(trace), sim_seconds=float(trace.duration),
+        produced=not cached, cache_hit=cached, wall_seconds=_WALL() - t0,
+    )
+
+
+def run_sweep(
+    grid: Union[SweepGrid, str, Sequence],
+    jobs: int = 1,
+    store: Optional[TraceStore] = None,
+    progress: Optional[Callable[[SweepProgress, SweepEntry], None]] = None,
+) -> SweepResult:
+    """Execute a sweep: every grid key produced once, cache first.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`SweepGrid`, a grid-spec string, or an iterable of
+        warm-style ``(name, scale, seed[, overrides])`` specs.
+    jobs:
+        Worker processes.  ``1`` produces serially in-process; more
+        shards cache misses across the persistent :func:`shared_pool`.
+        A store without a disk layer always degrades to serial (workers
+        write through the disk cache; without one there is nothing to
+        share).
+    store:
+        The backing :class:`TraceStore`; defaults to the process-wide
+        store (:func:`repro.harness.runner.trace_store`).
+    progress:
+        Callback invoked after every completed key with the running
+        :class:`SweepProgress` and the finished :class:`SweepEntry`.
+
+    Cache-hit keys short-circuit before dispatch: a fully warm sweep
+    performs no simulation and spawns no worker.  Failures are recorded
+    per key (``SweepEntry.error``) and never abort the rest.
+    """
+    if store is None:
+        from .runner import trace_store
+
+        store = trace_store()
+    if isinstance(grid, (SweepGrid, str)):
+        parsed = parse_grid(grid) if isinstance(grid, str) else grid
+        items = expand_grid(parsed)
+    else:
+        items = as_work_items(grid)
+
+    t0 = _WALL()
+    tel = process_telemetry()
+    span = tel.begin("sweep", "sweep", "sweep") if tel is not None else None
+    maybe_count("sweep.runs")
+    maybe_count("sweep.keys", len(items))
+
+    prog = SweepProgress(total=len(items))
+    entries: Dict[TraceKey, SweepEntry] = {}
+
+    def record(entry: SweepEntry) -> None:
+        entries[entry.key] = entry
+        prog.done += 1
+        if entry.error is not None:
+            prog.failed += 1
+            maybe_count("sweep.failed")
+        elif entry.cache_hit:
+            prog.hits += 1
+            maybe_count("sweep.cache_hits")
+        else:
+            prog.produced += 1
+            maybe_count("sweep.produced")
+        prog.elapsed = _WALL() - t0
+        if progress is not None:
+            progress(prog, entry)
+
+    misses: List[Tuple[TraceKey, dict]] = []
+    for key, overrides in items:
+        hit = _peek_cached(store, key)
+        if hit is not None:
+            record(hit)
+        else:
+            misses.append((key, overrides))
+
+    if misses and jobs > 1 and store.disk_dir is not None:
+        store.disk_dir.mkdir(parents=True, exist_ok=True)
+        pool = shared_pool(jobs)
+        tasks = [
+            (k.name, k.scale, k.seed, ov, k.digest(), str(store.disk_dir))
+            for k, ov in misses
+        ]
+        by_digest = {k.digest(): k for k, _ in misses}
+        _POOL_STATS["tasks"] += len(tasks)
+        maybe_count("sweep.pool.tasks", len(tasks))
+        for outcome in pool.imap_unordered(_produce_one, tasks):
+            digest, sha, packets, sim_s, produced, wall, error = outcome
+            key = by_digest[digest]
+            if produced:
+                store.stats.disk_writes += 1
+            record(SweepEntry(
+                key=key, digest=digest, trace_sha256=sha, packets=packets,
+                sim_seconds=sim_s, produced=produced,
+                cache_hit=not produced and error is None,
+                wall_seconds=wall, error=error,
+            ))
+    else:
+        for key, overrides in misses:
+            record(_produce_serial(store, key, overrides))
+
+    ordered = sorted(
+        entries.values(),
+        key=lambda e: (e.key.name, e.key.scale, e.key.seed, e.key.overrides),
+    )
+    result = SweepResult(entries=ordered, jobs=jobs, wall_seconds=_WALL() - t0)
+    if tel is not None and span is not None:
+        tel.end(span)
+    return result

@@ -1,0 +1,137 @@
+"""Async sweep job queue: submit / status / fetch over results/.sweep/."""
+
+import json
+
+import pytest
+
+from repro.harness import jobs as jobq
+
+
+@pytest.fixture()
+def roots(tmp_path):
+    return tmp_path / "jobs", tmp_path / "cache"
+
+
+class TestSubmitForeground:
+    GRID = "program=sor scale=smoke seed=0..2"
+
+    def test_submit_runs_to_done(self, roots):
+        root, cache = roots
+        rec = jobq.submit(self.GRID, jobs=1, root=root, cache_dir=cache,
+                          foreground=True)
+        assert rec.state == "done" and rec.done
+        assert rec.keys == 3
+        assert rec.manifest_digest
+        assert (rec.path / "manifest.json").exists()
+        assert (rec.path / "stats.json").exists()
+
+    def test_job_id_content_addressed_and_idempotent(self, roots):
+        root, cache = roots
+        rec1 = jobq.submit(self.GRID, jobs=1, root=root, cache_dir=cache,
+                           foreground=True)
+        rec2 = jobq.submit(self.GRID, jobs=1, root=root, cache_dir=cache,
+                           foreground=True)
+        assert rec1.job_id == rec2.job_id
+        assert rec2.state == "done"
+        # a different grid (or worker count) is a different job
+        rec3 = jobq.submit(self.GRID, jobs=2, root=root, cache_dir=cache,
+                           foreground=True)
+        assert rec3.job_id != rec1.job_id
+
+    def test_status_and_fetch(self, roots):
+        root, cache = roots
+        rec = jobq.submit(self.GRID, jobs=1, root=root, cache_dir=cache,
+                          foreground=True)
+        status = jobq.job_status(rec.job_id, root=root)
+        assert status.state == "done"
+        assert status.progress["done"] == 3
+        manifest = jobq.fetch(rec.job_id, root=root)
+        assert manifest["keys"] == 3
+        assert all(e["trace_sha256"] for e in manifest["entries"])
+
+    def test_list_jobs(self, roots):
+        root, cache = roots
+        assert jobq.list_jobs(root) == []
+        jobq.submit(self.GRID, jobs=1, root=root, cache_dir=cache,
+                    foreground=True)
+        records = jobq.list_jobs(root)
+        assert len(records) == 1 and records[0].state == "done"
+
+    def test_fetch_refuses_unfinished(self, roots):
+        root, cache = roots
+        bad = jobq.submit("program=sor scale=smoke seed=0 nprocs=0,4",
+                          jobs=1, root=root, cache_dir=cache,
+                          foreground=True)
+        assert bad.state == "failed"
+        assert "failed" in bad.error
+        with pytest.raises(jobq.JobError, match="failed"):
+            jobq.fetch(bad.job_id, root=root)
+        # the partial manifest still landed for inspection
+        assert (bad.path / "manifest.json").exists()
+
+    def test_failed_job_resubmit_restarts(self, roots):
+        root, cache = roots
+        grid = "program=sor scale=smoke seed=0 nprocs=0,4"
+        bad = jobq.submit(grid, jobs=1, root=root, cache_dir=cache,
+                          foreground=True)
+        assert bad.state == "failed"
+        again = jobq.submit(grid, jobs=1, root=root, cache_dir=cache,
+                            foreground=True)
+        assert again.job_id == bad.job_id
+        assert again.state == "failed"  # same grid still has the bad key
+
+    def test_unknown_job_raises(self, roots):
+        root, _cache = roots
+        with pytest.raises(jobq.JobError):
+            jobq.job_status("deadbeef0000", root=root)
+
+    def test_orphaned_running_job_reported_failed(self, roots):
+        root, cache = roots
+        rec = jobq.submit(self.GRID, jobs=1, root=root, cache_dir=cache,
+                          foreground=True)
+        # simulate a crashed worker: running state, dead pid
+        doc = json.loads((rec.path / "job.json").read_text())
+        doc["state"] = "running"
+        doc["pid"] = 2 ** 22 + 12345  # beyond this container's pid space
+        (rec.path / "job.json").write_text(json.dumps(doc))
+        status = jobq.job_status(rec.job_id, root=root)
+        assert status.state == "failed"
+        assert "disappeared" in status.error
+
+
+class TestJobCli:
+    def test_submit_status_fetch_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        root = str(tmp_path / "jobs")
+        cache = str(tmp_path / "cache")
+        rc = main(["sweep", "submit", "program=sor scale=smoke seed=0,1",
+                   "--root", root, "--cache-dir", cache, "--foreground"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        job_id = out.split()[0]
+        assert "done" in out
+
+        assert main(["sweep", "status", "--root", root]) == 0
+        assert job_id in capsys.readouterr().out
+
+        assert main(["sweep", "status", job_id, "--root", root]) == 0
+        assert "done" in capsys.readouterr().out
+
+        assert main(["sweep", "fetch", job_id, "--root", root]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["keys"] == 2
+
+    def test_fetch_unknown_job_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main(["sweep", "fetch", "nope", "--root",
+                   str(tmp_path / "jobs")])
+        assert rc == 2
+        assert "sweep:" in capsys.readouterr().err
+
+    def test_exec_job_usage_error(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "exec-job"]) == 2
+        assert "usage" in capsys.readouterr().err
