@@ -9,10 +9,13 @@ Usage::
     python -m repro trace 2dfft --out trace.npz [--scale ...] [--text]
                                 [--faults "loss=0.01,seed=1"] [--sanitize]
     python -m repro cache stats|clear|warm [--jobs N] [--dir DIR]
+    python -m repro cache scrub [--repair] [--dir DIR]
     python -m repro sweep 'program=* scale=smoke seed=0..3' --jobs 4
                           [--manifest FILE] [--cache-dir DIR]
+                          [--chaos 'kill-worker=P,hang=P,corrupt-cache=P,seed=N']
+                          [--task-timeout S] [--retries N] [--journal FILE]
     python -m repro sweep submit 'program=sor scale=smoke seed=0..7' --jobs 4
-    python -m repro sweep status [JOB_ID] | fetch JOB_ID
+    python -m repro sweep status [JOB_ID] | fetch JOB_ID | resume JOB_ID
     python -m repro faults show "loss=0.01,stall=2:10-20:3"
     python -m repro faults demo [--scale smoke] [--loss 0.01]
     python -m repro lint [paths...] [--select/--ignore SIMxxx,...]
@@ -205,15 +208,32 @@ def _cmd_all(args) -> int:
 # -- sweep engine -----------------------------------------------------
 
 
+def _print_error_rows(record) -> None:
+    """Error rows of a job's (possibly partial) manifest, to stderr."""
+    try:
+        manifest = json.loads((record.path / "manifest.json").read_text())
+    except (OSError, ValueError):
+        return
+    for row in manifest.get("entries", []):
+        if row.get("error"):
+            tag = (f"{row.get('program', '?')}/{row.get('scale', '?')}"
+                   f"/seed{row.get('seed', '?')}")
+            print(f"FAILED  {tag:<28} {row['error']}", file=sys.stderr)
+
+
 def _cmd_sweep(args) -> int:
     """``repro sweep``: synchronous grid sweeps plus the async job queue.
 
     First positional token selects the mode: ``submit``/``status``/
-    ``fetch`` drive the persistent job queue (``results/.sweep/``);
-    ``exec-job`` is the detached worker entry; anything else is a grid
-    spec swept synchronously in-process.
+    ``fetch``/``resume`` drive the persistent job queue
+    (``results/.sweep/``); ``exec-job`` is the detached worker entry;
+    anything else is a grid spec swept synchronously in-process.
     """
+    import signal
+    import threading
+
     from .harness import jobs as jobq
+    from .harness.resilience import ChaosPlan, RetryPolicy, SweepJournal
     from .harness.sweep import GridError, parse_grid, run_sweep
 
     tokens = list(args.tokens)
@@ -233,11 +253,35 @@ def _cmd_sweep(args) -> int:
         except GridError as exc:
             print(f"bad grid: {exc}", file=sys.stderr)
             return 2
-        record = jobq.submit(grid, jobs=args.jobs, root=args.root,
-                             cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
-                             foreground=args.foreground)
+        try:
+            record = jobq.submit(grid, jobs=args.jobs, root=args.root,
+                                 cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+                                 foreground=args.foreground,
+                                 chaos=args.chaos,
+                                 task_timeout=args.task_timeout,
+                                 max_attempts=args.retries + 1)
+        except ValueError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
         print(record.describe())
-        if record.state == "failed":
+        if record.state in ("failed", "interrupted"):
+            _print_error_rows(record)
+            return 1
+        return 0
+
+    if mode == "resume":
+        if len(tokens) != 2:
+            print("usage: repro sweep resume JOB_ID", file=sys.stderr)
+            return 2
+        try:
+            record = jobq.resume(tokens[1], root=args.root,
+                                 foreground=args.foreground)
+        except jobq.JobError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+        print(record.describe())
+        if record.state in ("failed", "interrupted"):
+            _print_error_rows(record)
             return 1
         return 0
 
@@ -265,6 +309,19 @@ def _cmd_sweep(args) -> int:
             print("usage: repro sweep fetch JOB_ID", file=sys.stderr)
             return 2
         try:
+            record = jobq.job_status(tokens[1], root=args.root)
+        except jobq.JobError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+        if not record.done:
+            # Failed/interrupted jobs must fail the fetch loudly — with
+            # the offending rows — not merely report a state.
+            print(f"sweep: job {record.job_id} is {record.state}"
+                  + (f" ({record.error})" if record.error else ""),
+                  file=sys.stderr)
+            _print_error_rows(record)
+            return 1
+        try:
             manifest = jobq.fetch(tokens[1], root=args.root)
         except jobq.JobError as exc:
             print(f"sweep: {exc}", file=sys.stderr)
@@ -279,6 +336,13 @@ def _cmd_sweep(args) -> int:
     except GridError as exc:
         print(f"bad grid: {exc}", file=sys.stderr)
         return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosPlan.parse(args.chaos)
+        except ValueError as exc:
+            print(f"bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
     store = _store(args)
     total_hint = grid.size
     stride = max(1, total_hint // 20)
@@ -287,22 +351,70 @@ def _cmd_sweep(args) -> int:
         if prog.done % stride == 0 or prog.done == prog.total:
             print(f"  {prog.describe()}", file=sys.stderr)
 
-    result = run_sweep(grid, jobs=args.jobs, store=store,
-                       progress=None if args.quiet else stream)
+    # Graceful shutdown: first SIGINT/SIGTERM drains in-flight keys and
+    # checkpoints the journal; the run exits 130, resumable via the same
+    # --journal file.
+    stop = threading.Event()
+    previous = {}
+
+    def request_stop(signum, frame) -> None:  # noqa: ARG001
+        stop.set()
+        print("  [draining: finishing in-flight keys, "
+              "checkpointing journal]", file=sys.stderr)
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, request_stop)
+        except ValueError:
+            pass
+    journal = SweepJournal(args.journal) if args.journal else None
+    try:
+        result = run_sweep(
+            grid, jobs=args.jobs, store=store,
+            progress=None if args.quiet else stream,
+            retry=RetryPolicy(max_attempts=args.retries + 1),
+            chaos=chaos, task_timeout=args.task_timeout,
+            journal=journal, stop=stop,
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if journal is not None:
+            journal.close()
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except ValueError:
+                pass
     for entry in result.failed:
         print(f"FAILED  {entry.key.describe():<28} {entry.error}",
               file=sys.stderr)
     stats = result.stats()
+    resilience = result.resilience or {}
+    tail = ""
+    if any(resilience.values()):
+        tail = ("  [" + ", ".join(
+            f"{name}={value}" for name, value in sorted(resilience.items())
+            if value) + "]")
     print(f"sweep complete: {stats['keys']} keys "
           f"({stats['cache_hits']} hit, {stats['produced']} produced, "
+          f"{stats['replayed']} replayed, "
           f"{stats['failed']} failed) in {stats['wall_seconds']:.2f}s "
           f"with {args.jobs} job{'s' if args.jobs != 1 else ''} "
-          f"-> {store.disk_dir}")
+          f"-> {store.disk_dir}{tail}")
     print(f"manifest sha256={result.manifest_digest()}")
     if args.manifest:
         path = result.write_manifest(args.manifest)
         print(f"[manifest -> {path}]")
     _print_telemetry_summary()
+    if result.interrupted:
+        print(f"sweep interrupted at {stats['keys']} of "
+              f"{stats['total_keys']} keys"
+              + (f"; resume with --journal {args.journal}"
+                 if args.journal else ""),
+              file=sys.stderr)
+        return 130
     return 1 if result.failed else 0
 
 
@@ -340,6 +452,22 @@ def _cmd_cache_clear(args) -> int:
     removed = store.clear(disk=True)
     print(f"removed {removed} cache files from {store.disk_dir}")
     return 0
+
+
+def _cmd_cache_scrub(args) -> int:
+    """``repro cache scrub``: verify every npz against its sidecar sha."""
+    _apply_telemetry(args)
+    store = _store(args)
+    report = store.scrub(repair=args.repair)
+    print(f"cache dir: {store.disk_dir}")
+    print(report.describe())
+    for entry in report.corrupt:
+        print(f"  {entry.status:<9} {entry.digest[:16]}  {entry.detail}")
+    for entry in report.orphans:
+        print(f"  {entry.status:<9} {entry.digest[:16]}  {entry.detail}")
+    _print_telemetry_summary()
+    unresolved = [e for e in report.corrupt if e.status != "repaired"]
+    return 1 if unresolved else 0
 
 
 def _cmd_cache_warm(args) -> int:
@@ -626,15 +754,30 @@ def main(argv=None) -> int:
              "trace cache (or submit/status/fetch async jobs)",
     )
     p_sweep.add_argument(
-        "tokens", nargs="+", metavar="GRID|submit|status|fetch",
+        "tokens", nargs="+", metavar="GRID|submit|status|fetch|resume",
         help="grid tokens like 'program=* scale=smoke seed=0..3', or a "
-             "job-queue verb (submit GRID..., status [JOB], fetch JOB)")
+             "job-queue verb (submit GRID..., status [JOB], fetch JOB, "
+             "resume JOB)")
     p_sweep.add_argument("--jobs", type=int, default=1,
                          help="parallel production workers (default: 1)")
     p_sweep.add_argument("--cache-dir", metavar="DIR", default=None,
                          help=f"persistent trace cache ({DEFAULT_CACHE_DIR})")
     p_sweep.add_argument("--manifest", metavar="FILE", default=None,
                          help="write the deterministic sweep manifest here")
+    p_sweep.add_argument("--chaos", metavar="SPEC", default=None,
+                         help="deterministic failure injection, e.g. "
+                              "'kill-worker=0.2,hang=0.1,corrupt-cache=0.1,"
+                              "seed=7' (needs --jobs >= 2)")
+    p_sweep.add_argument("--task-timeout", metavar="SECONDS", type=float,
+                         default=None,
+                         help="watchdog limit per pooled key; a worker "
+                              "stuck past it is killed and the key requeued")
+    p_sweep.add_argument("--retries", metavar="N", type=int, default=2,
+                         help="retry attempts per failed key before "
+                              "quarantine (default: 2)")
+    p_sweep.add_argument("--journal", metavar="FILE", default=None,
+                         help="crash-safe journal for synchronous sweeps; "
+                              "rerunning with the same file resumes")
     p_sweep.add_argument("--root", metavar="DIR",
                          default=os.path.join("results", ".sweep"),
                          help="job-queue state directory (results/.sweep)")
@@ -675,6 +818,15 @@ def main(argv=None) -> int:
     p_clear = cache_sub.add_parser("clear", help="delete every cached trace")
     add_cache_common(p_clear)
     p_clear.set_defaults(fn=_cmd_cache_clear)
+
+    p_scrub = cache_sub.add_parser(
+        "scrub", help="verify cached trace bytes against their sidecar "
+                      "sha256s; quarantine (and optionally re-produce) rot"
+    )
+    add_cache_common(p_scrub)
+    p_scrub.add_argument("--repair", action="store_true",
+                         help="re-produce corrupt entries through the engine")
+    p_scrub.set_defaults(fn=_cmd_cache_scrub)
 
     p_warm = cache_sub.add_parser(
         "warm", help="produce the experiments' traces through a worker pool"

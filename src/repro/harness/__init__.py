@@ -5,6 +5,7 @@ from .experiments import EXPERIMENTS, Artifact, run_experiment
 from .figures import export_artifact
 from .plots import ascii_plot, render_series
 from .replication import Replication, replicate
+from .resilience import ChaosPlan, RetryPolicy, SweepJournal
 from .runner import (
     REPRESENTATIVE_CONNECTIONS,
     clear_trace_cache,
@@ -47,6 +48,9 @@ __all__ = [
     "parse_grid",
     "expand_grid",
     "run_sweep",
+    "ChaosPlan",
+    "RetryPolicy",
+    "SweepJournal",
     "configure_trace_store",
     "set_default_faults",
     "default_faults",

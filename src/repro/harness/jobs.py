@@ -21,7 +21,13 @@ instead of re-simulating, exactly like the trace cache underneath.
 Every state transition is an atomic ``os.replace`` of ``job.json``, so
 a poll never reads a torn record.  No wall-clock timestamps are stored
 (the records stay byte-reproducible); ordering comes from the state
-machine ``pending -> running -> done | failed``.
+machine ``pending -> running -> done | failed | interrupted``.
+
+``interrupted`` is the resumable terminal state: the worker caught
+SIGINT/SIGTERM and drained (or its process disappeared outright — a
+SIGKILL, an OOM kill, a reboot).  Either way the fsync'd sweep journal
+(``journal.jsonl``) plus the trace cache hold everything already done,
+and :func:`resume` re-shards only the remainder.
 """
 
 from __future__ import annotations
@@ -29,12 +35,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import subprocess
 import sys
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Union
 
+from .resilience import ChaosPlan, RetryPolicy, SweepJournal
 from .sweep import (
     SWEEP_SCHEMA_VERSION,
     SweepGrid,
@@ -50,17 +59,18 @@ __all__ = [
     "JobRecord",
     "submit",
     "run_job",
+    "resume",
     "job_status",
     "list_jobs",
     "fetch",
 ]
 
-JOB_SCHEMA_VERSION = 1
+JOB_SCHEMA_VERSION = 2
 
 #: Default job-state root, next to the trace cache it feeds.
 DEFAULT_JOBS_ROOT = os.path.join("results", ".sweep")
 
-_STATES = ("pending", "running", "done", "failed")
+_STATES = ("pending", "running", "done", "failed", "interrupted")
 
 
 class JobError(ValueError):
@@ -79,13 +89,21 @@ class JobRecord:
     keys: int = 0              # grid size after dedup
     error: Optional[str] = None
     pid: Optional[int] = None
+    pid_start: Optional[str] = None  # /proc start-time: reused-pid guard
     manifest_digest: Optional[str] = None
+    chaos: Optional[str] = None          # canonical chaos spec, if any
+    task_timeout: Optional[float] = None
+    max_attempts: int = 3
     progress: dict = field(default_factory=dict)
     path: Optional[Path] = None
 
     @property
     def done(self) -> bool:
         return self.state == "done"
+
+    @property
+    def resumable(self) -> bool:
+        return self.state in ("interrupted", "failed", "pending")
 
     def as_dict(self) -> dict:
         return {
@@ -98,7 +116,11 @@ class JobRecord:
             "keys": self.keys,
             "error": self.error,
             "pid": self.pid,
+            "pid_start": self.pid_start,
             "manifest_digest": self.manifest_digest,
+            "chaos": self.chaos,
+            "task_timeout": self.task_timeout,
+            "max_attempts": self.max_attempts,
         }
 
     def describe(self) -> str:
@@ -130,11 +152,16 @@ def _load(job_dir: Path) -> JobRecord:
         raise JobError(f"no job record at {job_dir}") from None
     except ValueError as exc:
         raise JobError(f"unreadable job record at {job_dir}: {exc}") from None
+    timeout = doc.get("task_timeout")
     record = JobRecord(
         job_id=doc["job_id"], grid=doc["grid"], jobs=int(doc["jobs"]),
         cache_dir=doc["cache_dir"], state=doc.get("state", "pending"),
         keys=int(doc.get("keys", 0)), error=doc.get("error"),
-        pid=doc.get("pid"), manifest_digest=doc.get("manifest_digest"),
+        pid=doc.get("pid"), pid_start=doc.get("pid_start"),
+        manifest_digest=doc.get("manifest_digest"),
+        chaos=doc.get("chaos"),
+        task_timeout=float(timeout) if timeout is not None else None,
+        max_attempts=int(doc.get("max_attempts", 3)),
         path=job_dir,
     )
     try:
@@ -144,22 +171,85 @@ def _load(job_dir: Path) -> JobRecord:
     return record
 
 
-def _job_id(grid: SweepGrid, jobs: int, cache_dir: str) -> str:
+def _job_id(
+    grid: SweepGrid,
+    jobs: int,
+    cache_dir: str,
+    chaos: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    max_attempts: int = 3,
+) -> str:
     payload = json.dumps(
         {"schema": JOB_SCHEMA_VERSION, "sweep_schema": SWEEP_SCHEMA_VERSION,
-         "grid": grid.describe(), "jobs": jobs, "cache_dir": cache_dir},
+         "grid": grid.describe(), "jobs": jobs, "cache_dir": cache_dir,
+         "chaos": chaos, "task_timeout": task_timeout,
+         "max_attempts": max_attempts},
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:12]
 
 
-def _alive(pid: Optional[int]) -> bool:
+def _proc_fields(pid: int) -> Optional[List[str]]:
+    """``/proc/<pid>/stat`` fields after the comm, or None once gone.
+
+    The comm (field 2) may itself contain spaces and parentheses, so
+    everything is parsed relative to the *last* ``)``.
+    """
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_text()
+        return stat.rsplit(")", 1)[1].split()
+    except (OSError, IndexError):
+        return None
+
+
+def _proc_start(pid: int) -> Optional[str]:
+    """The kernel's start-time ticks for ``pid`` (field 22 of
+    ``/proc/<pid>/stat``), or None off-Linux / once the pid is gone.
+
+    The (pid, start-time) pair uniquely names a process for the life of
+    the boot — a recycled pid gets a different start time.
+    """
+    fields = _proc_fields(pid)
+    try:
+        return fields[19] if fields else None
+    except IndexError:  # pragma: no cover - malformed stat line
+        return None
+
+
+def _cmdline(pid: int) -> Optional[str]:
+    try:
+        raw = Path(f"/proc/{pid}/cmdline").read_bytes()
+    except OSError:
+        return None
+    return raw.replace(b"\x00", b" ").decode(errors="replace")
+
+
+def _alive(pid: Optional[int], pid_start: Optional[str] = None) -> bool:
+    """Is the recorded worker still the process we launched?
+
+    A bare ``os.kill(pid, 0)`` probe is fooled by pid reuse: after a
+    reboot (or merely a busy box cycling pids) some unrelated process
+    may be squatting on the number.  Cross-check the kernel start time
+    when we recorded one, and fall back to requiring ``repro`` in the
+    command line when we did not.
+    """
     if not pid:
         return False
     try:
         os.kill(pid, 0)
     except (OSError, ProcessLookupError):
         return False
+    fields = _proc_fields(pid)
+    if fields and fields[0] == "Z":
+        return False  # zombie: SIGKILLed but unreaped (orphan container)
+    if pid_start is not None:
+        current = _proc_start(pid)
+        if current is not None and current != pid_start:
+            return False  # pid reused by a different process
+    else:
+        cmdline = _cmdline(pid)
+        if cmdline is not None and "repro" not in cmdline:
+            return False  # alive, but not one of ours
     return True
 
 
@@ -169,6 +259,9 @@ def submit(
     root: Union[str, os.PathLike] = DEFAULT_JOBS_ROOT,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     foreground: bool = False,
+    chaos: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    max_attempts: int = 3,
 ) -> JobRecord:
     """Persist a sweep job and start it.
 
@@ -177,8 +270,10 @@ def submit(
     ``repro sweep exec-job`` child owns it and ``submit`` returns
     immediately with the job id to poll.
 
-    Submission is idempotent per (grid, jobs, cache dir): a finished or
-    still-running job is returned as-is instead of being restarted.
+    Submission is idempotent per (grid, jobs, cache dir, resilience
+    knobs): a finished or still-running job is returned as-is instead
+    of being restarted.  Interrupted/failed jobs restart — the journal
+    and cache make the restart a resume, not a redo.
     """
     from .store import DEFAULT_CACHE_DIR
 
@@ -186,30 +281,42 @@ def submit(
     items = expand_grid(parsed)  # validates; also gives the dedup count
     cache = str(Path(cache_dir if cache_dir is not None
                      else DEFAULT_CACHE_DIR).resolve())
+    if chaos is not None:
+        chaos = ChaosPlan.parse(chaos).describe()  # validate + canonicalize
     root = Path(root)
-    job_id = _job_id(parsed, jobs, cache)
+    job_id = _job_id(parsed, jobs, cache, chaos, task_timeout, max_attempts)
     job_dir = root / job_id
     if (job_dir / "job.json").exists():
         existing = _load(job_dir)
         if existing.state == "done":
             return existing
-        if existing.state == "running" and _alive(existing.pid):
+        if existing.state == "running" and _alive(existing.pid,
+                                                  existing.pid_start):
             return existing
-        # pending / failed / orphaned-running: restart below.
+        # pending / failed / interrupted / orphaned-running: restart.
     job_dir.mkdir(parents=True, exist_ok=True)
     record = JobRecord(job_id=job_id, grid=parsed.describe(), jobs=jobs,
-                       cache_dir=cache, keys=len(items), path=job_dir)
+                       cache_dir=cache, keys=len(items), path=job_dir,
+                       chaos=chaos, task_timeout=task_timeout,
+                       max_attempts=max_attempts)
     _save(record)
+    return _launch(record, foreground)
+
+
+def _launch(record: JobRecord, foreground: bool) -> JobRecord:
+    """Start (or restart) a persisted job's worker process."""
     if foreground:
-        return run_job(job_dir)
-    log = open(job_dir / "log.txt", "ab")
+        return run_job(record.path)
+    log = open(record.path / "log.txt", "ab")
     child = subprocess.Popen(
-        [sys.executable, "-m", "repro", "sweep", "exec-job", str(job_dir)],
+        [sys.executable, "-m", "repro", "sweep", "exec-job",
+         str(record.path)],
         stdout=log, stderr=subprocess.STDOUT,
         start_new_session=True, close_fds=True,
     )
     log.close()
     record.pid = child.pid
+    record.pid_start = _proc_start(child.pid)
     _save(record)
     return record
 
@@ -217,17 +324,35 @@ def submit(
 def run_job(job_dir: Union[str, os.PathLike]) -> JobRecord:
     """Execute a persisted job (the ``exec-job`` worker entry point).
 
-    Streams counts into ``progress.json``, writes ``manifest.json`` on
-    success, and records the terminal state atomically.  Failed keys
-    fail the *job* state but still leave a manifest — partial sweeps
-    are inspectable, and resubmitting resumes from the cache.
+    Streams counts into ``progress.json``, journals every completion
+    (fsync'd ``journal.jsonl``), writes ``manifest.json`` on success,
+    and records the terminal state atomically.  SIGINT/SIGTERM drain
+    in-flight keys, checkpoint the journal, and land the job in the
+    resumable ``interrupted`` state.  Failed keys fail the *job* state
+    but still leave a manifest — partial sweeps are inspectable, and
+    resubmitting resumes from the journal + cache.
     """
     job_dir = Path(job_dir)
     record = _load(job_dir)
     record.state = "running"
     record.pid = os.getpid()
+    record.pid_start = _proc_start(os.getpid())
     record.error = None
     _save(record)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:  # noqa: ARG001
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _request_stop)
+        except ValueError:  # not the main thread (embedded use)
+            pass
+
+    journal = SweepJournal(job_dir / "journal.jsonl")
     try:
         from .store import TraceStore
 
@@ -239,18 +364,31 @@ def run_job(job_dir: Union[str, os.PathLike]) -> JobRecord:
                 _atomic_write(job_dir / "progress.json", json.dumps({
                     "total": prog.total, "done": prog.done,
                     "hits": prog.hits, "produced": prog.produced,
-                    "failed": prog.failed,
+                    "failed": prog.failed, "replayed": prog.replayed,
+                    "retries": prog.retries, "requeued": prog.requeued,
+                    "quarantined": prog.quarantined,
                     "elapsed_seconds": round(prog.elapsed, 3),
                 }, sort_keys=True) + "\n")
 
-        result = run_sweep(parse_grid(record.grid), jobs=record.jobs,
-                           store=store, progress=stream)
+        result = run_sweep(
+            parse_grid(record.grid), jobs=record.jobs,
+            store=store, progress=stream,
+            retry=RetryPolicy(max_attempts=record.max_attempts),
+            chaos=(ChaosPlan.parse(record.chaos)
+                   if record.chaos else None),
+            task_timeout=record.task_timeout,
+            journal=journal, stop=stop,
+        )
         result.write_manifest(job_dir / "manifest.json")
         _atomic_write(job_dir / "stats.json",
                       json.dumps(result.stats(), indent=2, sort_keys=True)
                       + "\n")
         record.manifest_digest = result.manifest_digest()
-        if result.ok:
+        if result.interrupted:
+            record.state = "interrupted"
+            record.error = (f"interrupted at {len(result.entries)} of "
+                            f"{result.total_keys} keys (resumable)")
+        elif result.ok:
             record.state = "done"
         else:
             record.state = "failed"
@@ -259,9 +397,37 @@ def run_job(job_dir: Union[str, os.PathLike]) -> JobRecord:
     except Exception as exc:  # noqa: BLE001 - job state must land
         record.state = "failed"
         record.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        journal.close()
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except ValueError:
+                pass
     record.pid = None
+    record.pid_start = None
     _save(record)
     return record
+
+
+def resume(
+    job_id: str,
+    root: Union[str, os.PathLike] = DEFAULT_JOBS_ROOT,
+    foreground: bool = False,
+) -> JobRecord:
+    """Restart an interrupted/failed/pending job where it left off.
+
+    The relaunched worker replays completed keys from the journal and
+    the trace cache, then re-shards only the remainder — the final
+    manifest is byte-identical to an uninterrupted run.  A ``done``
+    job is returned as-is; a genuinely running one is left alone.
+    """
+    record = job_status(job_id, root=root)
+    if record.state == "done":
+        return record
+    if record.state == "running":
+        raise JobError(f"job {job_id} is still running (pid {record.pid})")
+    return _launch(record, foreground)
 
 
 def job_status(
@@ -270,9 +436,12 @@ def job_status(
 ) -> JobRecord:
     """The current record of one job (progress included)."""
     record = _load(Path(root) / job_id)
-    if record.state == "running" and not _alive(record.pid):
-        record.state = "failed"
-        record.error = "worker process disappeared"
+    if record.state == "running" and not _alive(record.pid,
+                                                record.pid_start):
+        record.state = "interrupted"
+        record.error = ("worker process disappeared "
+                        "(resumable: repro sweep resume "
+                        f"{record.job_id})")
         _save(record)
     return record
 

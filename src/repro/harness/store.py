@@ -56,6 +56,8 @@ __all__ = [
     "CacheStats",
     "TraceStore",
     "WarmResult",
+    "ScrubEntry",
+    "ScrubReport",
 ]
 
 #: Bump when simulation semantics change: any MAC/transport/work-model
@@ -189,6 +191,80 @@ class WarmResult:
         return self.error is None
 
 
+@dataclass
+class ScrubEntry:
+    """One cache entry's integrity verdict."""
+
+    digest: str
+    status: str                  # ok | corrupt | orphan | repaired
+    detail: Optional[str] = None
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of a :meth:`TraceStore.scrub` pass."""
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: List[ScrubEntry] = field(default_factory=list)
+    orphans: List[ScrubEntry] = field(default_factory=list)
+    repaired: int = 0
+    quarantined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def as_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "ok": self.ok,
+            "corrupt": [{"digest": e.digest, "detail": e.detail}
+                        for e in self.corrupt],
+            "orphans": [e.digest for e in self.orphans],
+            "repaired": self.repaired,
+            "quarantined": self.quarantined,
+        }
+
+    def describe(self) -> str:
+        return (f"scrub: {self.checked} checked, {self.ok} ok, "
+                f"{len(self.corrupt)} corrupt, {len(self.orphans)} orphaned, "
+                f"{self.repaired} repaired, {self.quarantined} quarantined")
+
+
+def _stat_signature(path: Path) -> Optional[tuple]:
+    """The identity of a file's current bytes: (inode, size, mtime-ns).
+
+    ``os.replace`` swaps in a different inode, so a concurrent writer
+    refreshing an entry always changes the signature — the seam the
+    quarantine race-guard (and its tests) key on.
+    """
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return (st.st_ino, st.st_size, st.st_mtime_ns)
+
+
+def _decode_overrides(raw: dict) -> dict:
+    """Sidecar ``key.overrides`` back to ``run_measured`` kwargs.
+
+    Entries written through :meth:`TraceStore._disk_store` hold
+    JSON-encoded strings (the frozen :class:`TraceKey` form); entries
+    written by sweep workers hold the raw dict.  Accept both.
+    """
+    kwargs = {}
+    for name, value in (raw or {}).items():
+        if isinstance(value, str):
+            try:
+                kwargs[name] = json.loads(value)
+                continue
+            except ValueError:
+                pass
+        kwargs[name] = value
+    return kwargs
+
+
 #: Monotone per-process counter distinguishing temp files written by
 #: concurrent threads of one process (the pid alone distinguishes
 #: processes).  Concurrent writers of the *same* entry are safe either
@@ -315,6 +391,7 @@ class TraceStore:
         path = self._disk_path(key)
         if path is None:
             return None
+        signature = _stat_signature(path)
         try:
             return load_npz(path)
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
@@ -322,22 +399,129 @@ class TraceStore:
             # the fresh entry we are about to produce can land, and so
             # the corruption is visible in ``cache stats`` instead of
             # silently costing a re-simulation every run.
-            self._quarantine(path)
+            self._quarantine(path, signature)
             return None
 
-    def _quarantine(self, path: Path) -> None:
+    def _quarantine(self, path: Path,
+                    signature: Optional[tuple] = None) -> bool:
+        """Set a cache file aside as ``*.corrupt``.
+
+        ``signature`` is the :func:`_stat_signature` observed when the
+        file was judged corrupt.  If a concurrent writer has since
+        ``os.replace``'d a fresh entry into place, the inode signature
+        differs and the quarantine is abandoned — we must never eat a
+        valid entry that merely shares a name with the corpse we read.
+        """
         try:
+            if signature is not None and _stat_signature(path) != signature:
+                return False  # racing writer already healed the entry
             path.rename(path.with_name(path.name + ".corrupt"))
             self.stats.quarantined += 1
             maybe_count("cache.quarantined")
+            return True
         except OSError:  # pragma: no cover - already renamed or gone
-            pass
+            return False
 
     def quarantined_entries(self) -> List[Path]:
         """Cache files set aside as unreadable (``*.corrupt``)."""
         if self.disk_dir is None or not self.disk_dir.exists():
             return []
         return sorted(self.disk_dir.glob("*.corrupt"))
+
+    # -- integrity scrubbing -------------------------------------------
+    def scrub(self, repair: bool = False) -> ScrubReport:
+        """Verify every persisted entry's bytes against its sidecar.
+
+        Each ``<digest>.npz`` is loaded and its content SHA-256
+        recomputed; a load failure or a mismatch against the sidecar's
+        ``trace_sha256`` marks the entry corrupt and quarantines both
+        files (``*.corrupt``).  A loadable npz without a sidecar is
+        reported as an orphan and left alone (it may be mid-write by a
+        concurrent producer — the npz always lands first).
+
+        With ``repair=True``, corrupt entries whose sidecar still names
+        the key are re-produced through the engine and written back.
+
+        The scrub is safe to run against live writers: before
+        quarantining, the file's stat signature is re-checked and a
+        freshly ``os.replace``'d entry is re-verified instead of eaten.
+        """
+        report = ScrubReport()
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return report
+        for npz in sorted(self.disk_dir.glob("*.npz")):
+            if npz.name.startswith("."):
+                continue  # a writer's temp file
+            digest = npz.stem
+            report.checked += 1
+            verdict = self._scrub_one(npz)
+            for _retry in range(2):
+                if verdict[0] != "corrupt":
+                    break
+                # Possibly a racing writer mid-heal: if the bytes have
+                # changed since the verdict, judge the new bytes.
+                if _stat_signature(npz) == verdict[2]:
+                    break
+                verdict = self._scrub_one(npz)
+            status, detail, signature, meta = verdict
+            if status == "ok":
+                report.ok += 1
+                continue
+            if status == "orphan":
+                report.orphans.append(ScrubEntry(digest, "orphan", detail))
+                continue
+            entry = ScrubEntry(digest, "corrupt", detail)
+            if self._quarantine(npz, signature):
+                report.quarantined += 1
+                sidecar = npz.with_suffix(".json")
+                if sidecar.exists():
+                    self._quarantine(sidecar)
+            if repair and meta is not None:
+                try:
+                    key_doc = meta.get("key") or {}
+                    trace = run_measured(
+                        key_doc["name"], scale=key_doc.get("scale", "default"),
+                        seed=int(key_doc.get("seed", 0)),
+                        **_decode_overrides(key_doc.get("overrides")),
+                    )
+                    _write_entry(self.disk_dir, digest, trace, key_doc)
+                    self.stats.disk_writes += 1
+                    entry.status = "repaired"
+                    report.repaired += 1
+                    maybe_count("cache.scrub.repaired")
+                except Exception as exc:  # noqa: BLE001 - per-entry
+                    entry.detail = (f"{detail}; repair failed: "
+                                    f"{type(exc).__name__}: {exc}")
+            report.corrupt.append(entry)
+        maybe_count("cache.scrub.runs")
+        if report.corrupt:
+            maybe_count("cache.scrub.corrupt", len(report.corrupt))
+        return report
+
+    def _scrub_one(self, npz: Path):
+        """Judge one entry: (status, detail, stat-signature, sidecar)."""
+        signature = _stat_signature(npz)
+        if signature is None:
+            return ("ok", "vanished mid-scrub", None, None)
+        meta = None
+        try:
+            meta = json.loads(npz.with_suffix(".json").read_text())
+        except (OSError, ValueError):
+            meta = None
+        try:
+            trace = load_npz(npz)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            return ("corrupt", f"unreadable: {type(exc).__name__}: {exc}",
+                    signature, meta)
+        if meta is None:
+            return ("orphan", "no metadata sidecar", signature, None)
+        expected = meta.get("trace_sha256")
+        actual = trace_digest(trace)
+        if expected is not None and actual != expected:
+            return ("corrupt",
+                    f"sha256 mismatch: sidecar {expected[:12]}… "
+                    f"vs bytes {actual[:12]}…", signature, meta)
+        return ("ok", None, signature, meta)
 
     def _disk_store(self, key: TraceKey, trace: PacketTrace) -> None:
         if self.disk_dir is None:

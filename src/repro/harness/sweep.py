@@ -31,12 +31,21 @@ from __future__ import annotations
 import atexit
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..capture import load_npz, trace_digest
 from ..telemetry import Telemetry, maybe_count, process_telemetry
+from .resilience import (
+    DEFAULT_RETRY,
+    ChaosPlan,
+    RetryPolicy,
+    SupervisedPool,
+    SweepJournal,
+    produce_with_chaos,
+)
 from .store import TRACE_SCHEMA_VERSION, TraceKey, TraceStore, _write_entry
 
 __all__ = [
@@ -338,24 +347,27 @@ def _pool_context():
     raise RuntimeError("no usable multiprocessing start method")
 
 
-def shared_pool(jobs: int):
+def shared_pool(jobs: int) -> SupervisedPool:
     """The process-wide persistent worker pool, sized to ``jobs``.
 
     Created once and reused by every sweep and by
     :meth:`TraceStore.warm`; asking for a different size replaces it.
     Workers are initialized with the program registry
     (:func:`_worker_init`) so repeated sweeps never re-pay startup.
+    Since the resilience layer landed this is a
+    :class:`~repro.harness.resilience.SupervisedPool`: every worker
+    carries a heartbeat and runs under the sweep watchdog.
     """
     global _POOL, _POOL_JOBS, _ATEXIT_REGISTERED
     if jobs < 2:
         raise ValueError(f"a worker pool needs jobs >= 2, got {jobs}")
-    if _POOL is not None and _POOL_JOBS == jobs:
+    if _POOL is not None and _POOL_JOBS == jobs and _POOL.alive:
         _POOL_STATS["reused"] += 1
         maybe_count("sweep.pool.reused")
         return _POOL
     shutdown_pool()
-    ctx = _pool_context()
-    _POOL = ctx.Pool(processes=jobs, initializer=_worker_init)
+    _POOL = SupervisedPool(jobs, initializer=_worker_init,
+                           context=_pool_context())
     _POOL_JOBS = jobs
     _POOL_STATS["started"] += 1
     maybe_count("sweep.pool.started")
@@ -370,14 +382,21 @@ def shutdown_pool() -> None:
     global _POOL, _POOL_JOBS
     if _POOL is not None:
         _POOL.terminate()
-        _POOL.join()
         _POOL = None
         _POOL_JOBS = 0
 
 
 def pool_stats() -> Dict[str, int]:
     """Lifetime pool counters: started / reused / tasks dispatched."""
-    return dict(_POOL_STATS, jobs=_POOL_JOBS, alive=int(_POOL is not None))
+    stats = dict(_POOL_STATS, jobs=_POOL_JOBS,
+                 alive=int(_POOL is not None and _POOL.alive))
+    if _POOL is not None:
+        stats["respawns"] = _POOL.stats["respawns"]
+        stats["watchdog_kills"] = _POOL.stats["watchdog_kills"]
+    else:
+        stats.setdefault("respawns", 0)
+        stats.setdefault("watchdog_kills", 0)
+    return stats
 
 
 def _produce_one(task):
@@ -428,8 +447,10 @@ class SweepEntry:
     sim_seconds: float = 0.0
     produced: bool = False     # simulated during this sweep
     cache_hit: bool = False    # served from the disk/memory cache
+    replayed: bool = False     # recovered from a resume journal
     error: Optional[str] = None
     wall_seconds: float = 0.0  # worker wall time (excluded from manifest)
+    attempts: int = 1          # production attempts (excluded from manifest)
 
     @property
     def ok(self) -> bool:
@@ -460,6 +481,10 @@ class SweepProgress:
     hits: int = 0
     produced: int = 0
     failed: int = 0
+    replayed: int = 0
+    retries: int = 0
+    requeued: int = 0
+    quarantined: int = 0
     elapsed: float = 0.0
 
     @property
@@ -474,10 +499,14 @@ class SweepProgress:
         return (self.total - self.done) / max(self.rate, 1e-9)
 
     def describe(self) -> str:
+        extra = ""
+        if self.retries or self.requeued or self.quarantined:
+            extra = (f" [{self.retries} retried, {self.requeued} requeued, "
+                     f"{self.quarantined} quarantined]")
         return (f"{self.done}/{self.total} done "
                 f"({self.hits} hit, {self.produced} produced, "
                 f"{self.failed} failed) "
-                f"{self.rate:.1f} runs/s eta {self.eta_seconds:.0f}s")
+                f"{self.rate:.1f} runs/s eta {self.eta_seconds:.0f}s{extra}")
 
 
 @dataclass
@@ -487,14 +516,26 @@ class SweepResult:
     entries: List[SweepEntry] = field(default_factory=list)
     jobs: int = 1
     wall_seconds: float = 0.0
+    #: Keys the whole grid wanted; > len(entries) after a graceful stop.
+    total_keys: int = 0
+    #: True when a stop request (SIGINT/SIGTERM) drained the sweep early;
+    #: the missing keys are resumable from the journal + cache.
+    interrupted: bool = False
+    #: Recovery tallies: retries, requeued, quarantined, watchdog_kills.
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
-        return sum(1 for e in self.entries if e.cache_hit)
+        return sum(1 for e in self.entries
+                   if e.cache_hit and not e.replayed)
 
     @property
     def produced(self) -> int:
         return sum(1 for e in self.entries if e.produced)
+
+    @property
+    def replayed(self) -> int:
+        return sum(1 for e in self.entries if e.replayed)
 
     @property
     def failed(self) -> List[SweepEntry]:
@@ -502,7 +543,7 @@ class SweepResult:
 
     @property
     def ok(self) -> bool:
-        return not self.failed
+        return not self.failed and not self.interrupted
 
     def by_key(self) -> Dict[TraceKey, SweepEntry]:
         return {e.key: e for e in self.entries}
@@ -543,9 +584,12 @@ class SweepResult:
         packets = sum(e.packets for e in self.entries if e.ok)
         return {
             "keys": len(self.entries),
+            "total_keys": self.total_keys or len(self.entries),
             "cache_hits": self.hits,
             "produced": self.produced,
+            "replayed": self.replayed,
             "failed": len(self.failed),
+            "interrupted": self.interrupted,
             "jobs": self.jobs,
             "wall_seconds": round(self.wall_seconds, 6),
             "keys_per_second": round(
@@ -555,6 +599,7 @@ class SweepResult:
             "sim_seconds": round(
                 sum(e.sim_seconds for e in self.entries if e.ok), 6
             ),
+            "resilience": dict(self.resilience),
         }
 
 
@@ -619,6 +664,11 @@ def run_sweep(
     jobs: int = 1,
     store: Optional[TraceStore] = None,
     progress: Optional[Callable[[SweepProgress, SweepEntry], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosPlan] = None,
+    task_timeout: Optional[float] = None,
+    journal: Optional[SweepJournal] = None,
+    stop=None,
 ) -> SweepResult:
     """Execute a sweep: every grid key produced once, cache first.
 
@@ -639,6 +689,25 @@ def run_sweep(
     progress:
         Callback invoked after every completed key with the running
         :class:`SweepProgress` and the finished :class:`SweepEntry`.
+    retry:
+        :class:`~repro.harness.resilience.RetryPolicy` for failed keys
+        (default: 3 attempts with seeded-jitter exponential backoff).
+        A key still failing after its last attempt is quarantined —
+        recorded as failed, never allowed to stall the grid.
+    chaos:
+        Optional :class:`~repro.harness.resilience.ChaosPlan`; requires
+        a pooled sweep (``jobs >= 2`` with a disk cache) because chaos
+        kills live workers.
+    task_timeout:
+        Watchdog limit in wall seconds for one pooled production; a
+        worker stuck past it is killed and its key requeued.
+    journal:
+        :class:`~repro.harness.resilience.SweepJournal` making the sweep
+        crash-safe: completed keys are replayed from the journal on a
+        rerun (``resume.replayed``) and every completion is fsync'd.
+    stop:
+        A ``threading.Event``; once set the sweep drains in-flight work,
+        records what finished, and returns with ``interrupted=True``.
 
     Cache-hit keys short-circuit before dispatch: a fully warm sweep
     performs no simulation and spawns no worker.  Failures are recorded
@@ -653,6 +722,12 @@ def run_sweep(
         items = expand_grid(parsed)
     else:
         items = as_work_items(grid)
+    retry = retry if retry is not None else DEFAULT_RETRY
+    if chaos is not None and chaos.active and (
+            jobs < 2 or store.disk_dir is None):
+        raise ValueError(
+            "chaos injection needs a pooled sweep: jobs >= 2 and a disk "
+            "cache (chaos kills workers; there must be workers to kill)")
 
     t0 = _WALL()
     tel = process_telemetry()
@@ -662,6 +737,8 @@ def run_sweep(
 
     prog = SweepProgress(total=len(items))
     entries: Dict[TraceKey, SweepEntry] = {}
+    tallies = {"retries": 0, "requeued": 0, "quarantined": 0,
+               "watchdog_kills": 0, "replayed": 0}
 
     def record(entry: SweepEntry) -> None:
         entries[entry.key] = entry
@@ -669,25 +746,86 @@ def run_sweep(
         if entry.error is not None:
             prog.failed += 1
             maybe_count("sweep.failed")
-        elif entry.cache_hit:
+            if journal is not None:
+                journal.append({"event": "failed", "digest": entry.digest,
+                                "error": entry.error,
+                                "attempts": entry.attempts})
+        elif entry.cache_hit and not entry.replayed:
             prog.hits += 1
             maybe_count("sweep.cache_hits")
         else:
-            prog.produced += 1
-            maybe_count("sweep.produced")
+            if entry.replayed:
+                prog.replayed += 1
+            else:
+                prog.produced += 1
+                maybe_count("sweep.produced")
+            if journal is not None and not entry.replayed:
+                journal.append({
+                    "event": "done", "digest": entry.digest,
+                    "trace_sha256": entry.trace_sha256,
+                    "packets": entry.packets,
+                    "sim_seconds": entry.sim_seconds,
+                    "produced": entry.produced,
+                })
         prog.elapsed = _WALL() - t0
         if progress is not None:
             progress(prog, entry)
 
+    def on_event(kind: str, ident: str, **info) -> None:
+        """Pool/retry transitions: count, journal, and stream them."""
+        if kind == "retry":
+            tallies["retries"] += 1
+            prog.retries += 1
+            maybe_count("sweep.retries")
+        elif kind == "requeue":
+            tallies["requeued"] += 1
+            prog.requeued += 1
+            maybe_count("sweep.requeued")
+        elif kind == "watchdog-kill":
+            tallies["watchdog_kills"] += 1
+        elif kind == "quarantine":
+            tallies["quarantined"] += 1
+            prog.quarantined += 1
+            maybe_count("sweep.quarantined")
+        if journal is not None:
+            journal.append(dict({"event": kind, "digest": ident}, **info))
+
+    # Crash-safe resume: rows already journaled replay without touching
+    # the cache, the workers, or the simulator.
+    replayed_rows: Dict[str, dict] = {}
+    if journal is not None:
+        replayed_rows = journal.replay()
+        journal.rotate(replayed_rows)  # atomic compaction of old noise
+
+    def stopping() -> bool:
+        return stop is not None and stop.is_set()
+
     misses: List[Tuple[TraceKey, dict]] = []
     for key, overrides in items:
+        if stopping():
+            break
+        digest = key.digest()
+        row = replayed_rows.get(digest)
+        if row is not None:
+            tallies["replayed"] += 1
+            maybe_count("resume.replayed")
+            record(SweepEntry(
+                key=key, digest=digest,
+                trace_sha256=row.get("trace_sha256", ""),
+                packets=int(row.get("packets", 0)),
+                sim_seconds=float(row.get("sim_seconds", 0.0)),
+                cache_hit=True, replayed=True,
+            ))
+            continue
         hit = _peek_cached(store, key)
         if hit is not None:
             record(hit)
         else:
             misses.append((key, overrides))
 
-    if misses and jobs > 1 and store.disk_dir is not None:
+    if stopping():
+        pass  # drain: nothing left to dispatch
+    elif misses and jobs > 1 and store.disk_dir is not None:
         store.disk_dir.mkdir(parents=True, exist_ok=True)
         pool = shared_pool(jobs)
         tasks = [
@@ -697,26 +835,79 @@ def run_sweep(
         by_digest = {k.digest(): k for k, _ in misses}
         _POOL_STATS["tasks"] += len(tasks)
         maybe_count("sweep.pool.tasks", len(tasks))
-        for outcome in pool.imap_unordered(_produce_one, tasks):
+        for task, outcome, meta in pool.imap_supervised(
+                produce_with_chaos, tasks, ident=lambda t: t[4],
+                retry=retry, chaos=chaos, task_timeout=task_timeout,
+                stop=stop, on_event=on_event):
+            key = by_digest[task[4]]
+            if outcome is None:
+                # Every attempt died with its worker (crash/hang loop).
+                error = meta.error or "worker lost"
+                if meta.quarantined:
+                    error = (f"quarantined after {meta.attempts} "
+                             f"attempts: {error}")
+                record(SweepEntry(key=key, digest=task[4], error=error,
+                                  attempts=meta.attempts))
+                continue
             digest, sha, packets, sim_s, produced, wall, error = outcome
-            key = by_digest[digest]
+            if error is not None and meta.quarantined:
+                error = f"quarantined after {meta.attempts} attempts: {error}"
             if produced:
                 store.stats.disk_writes += 1
             record(SweepEntry(
                 key=key, digest=digest, trace_sha256=sha, packets=packets,
                 sim_seconds=sim_s, produced=produced,
                 cache_hit=not produced and error is None,
-                wall_seconds=wall, error=error,
+                wall_seconds=wall, error=error, attempts=meta.attempts,
             ))
     else:
         for key, overrides in misses:
-            record(_produce_serial(store, key, overrides))
+            if stopping():
+                break
+            record(_produce_serial_with_retry(store, key, overrides,
+                                              retry, on_event, stopping))
 
     ordered = sorted(
         entries.values(),
         key=lambda e: (e.key.name, e.key.scale, e.key.seed, e.key.overrides),
     )
-    result = SweepResult(entries=ordered, jobs=jobs, wall_seconds=_WALL() - t0)
+    interrupted = stopping() and len(ordered) < len(items)
+    if interrupted and journal is not None:
+        journal.append({"event": "interrupted", "done": len(ordered),
+                        "total": len(items)})
+    result = SweepResult(
+        entries=ordered, jobs=jobs, wall_seconds=_WALL() - t0,
+        total_keys=len(items), interrupted=interrupted, resilience=tallies,
+    )
     if tel is not None and span is not None:
         tel.end(span)
     return result
+
+
+def _produce_serial_with_retry(
+    store: TraceStore,
+    key: TraceKey,
+    overrides: dict,
+    retry: RetryPolicy,
+    on_event: Callable,
+    stopping: Callable[[], bool],
+) -> SweepEntry:
+    """Serial production under the same retry/quarantine policy as the
+    pool (minus worker supervision — there is no worker to die)."""
+    digest = key.digest()
+    attempt = 0
+    while True:
+        attempt += 1
+        entry = _produce_serial(store, key, overrides)
+        entry.attempts = attempt
+        if entry.error is None or stopping():
+            return entry
+        if attempt >= retry.max_attempts:
+            if retry.max_attempts > 1:
+                on_event("quarantine", digest, attempts=attempt,
+                         error=entry.error)
+                entry.error = (f"quarantined after {attempt} attempts: "
+                               f"{entry.error}")
+            return entry
+        on_event("retry", digest, attempt=attempt, error=entry.error)
+        time.sleep(max(0.0, retry.delay(digest, attempt)))

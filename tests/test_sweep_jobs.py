@@ -85,7 +85,7 @@ class TestSubmitForeground:
         with pytest.raises(jobq.JobError):
             jobq.job_status("deadbeef0000", root=root)
 
-    def test_orphaned_running_job_reported_failed(self, roots):
+    def test_orphaned_running_job_reported_interrupted(self, roots):
         root, cache = roots
         rec = jobq.submit(self.GRID, jobs=1, root=root, cache_dir=cache,
                           foreground=True)
@@ -95,8 +95,9 @@ class TestSubmitForeground:
         doc["pid"] = 2 ** 22 + 12345  # beyond this container's pid space
         (rec.path / "job.json").write_text(json.dumps(doc))
         status = jobq.job_status(rec.job_id, root=root)
-        assert status.state == "failed"
+        assert status.state == "interrupted"  # resumable, not dead
         assert "disappeared" in status.error
+        assert "resume" in status.error
 
 
 class TestJobCli:
