@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Intentionally broken SPMD programs — commlint's true-positive fixtures.
+
+Each class below compiles and *looks* plausible, but its communication
+schedule is wrong in a way ``repro xray`` must catch statically:
+
+* :class:`DeadlockRing` — every rank receives from its left neighbour
+  before sending right, so nobody's send is ever reached: a cyclic
+  synchronous wait (``COMM001``).
+* :class:`TagMismatch` — the receiver filters on a tag the sender never
+  uses, stranding both sides (``COMM003`` on the receive, ``COMM002``
+  on the orphaned send).
+
+Neither is registered in :mod:`repro.programs` — they exist only as
+fixtures, addressed by path::
+
+    python -m repro xray examples/broken_programs.py:DeadlockRing --nprocs 4
+
+Running them through the live simulator would stall forever; the static
+checker is the only safe way to look at them, which is the point.
+
+Run:  python examples/broken_programs.py
+"""
+
+from repro.commlint import format_commprint, xray
+from repro.fx import FxProgram, Pattern
+
+
+class DeadlockRing(FxProgram):
+    """A ring exchange written receive-first: a classic SPMD deadlock.
+
+    The correct ring (see ``examples/custom_kernel.py``) sends before
+    receiving.  Here every rank blocks on ``recv(left)`` while its own
+    send — the one that would release its right neighbour — sits
+    unreached after the receive.  The wait-for graph is the full ring:
+    0 -> P-1 -> P-2 -> ... -> 0.
+    """
+
+    name = "deadlock-ring"
+    pattern = Pattern.NEIGHBOR
+
+    def __init__(self, block_bytes: int = 4096, work: float = 1000.0):
+        self.block_bytes = block_bytes
+        self.work = work
+
+    def rank_body(self, ctx):
+        right = (ctx.rank + 1) % ctx.nprocs
+        left = (ctx.rank - 1) % ctx.nprocs
+        yield ctx.compute(self.work)
+        yield ctx.recv(left, tag=0)          # blocks forever: left is
+        yield from ctx.send(right, self.block_bytes, tag=0)  # never sent
+
+
+class TagMismatch(FxProgram):
+    """A pairwise exchange whose tags disagree.
+
+    Even ranks send to their odd partner with ``tag=1``; the partner
+    waits for ``tag=2``.  The message is delivered to the partner's
+    mailbox but can never match the receive's filter, so the receiver
+    stalls with the payload sitting in front of it — the signature
+    commlint reports as a tag mismatch rather than a missing send.
+    """
+
+    name = "tag-mismatch"
+    pattern = Pattern.NEIGHBOR
+
+    def __init__(self, block_bytes: int = 2048):
+        self.block_bytes = block_bytes
+
+    def rank_body(self, ctx):
+        partner = ctx.rank ^ 1
+        if partner >= ctx.nprocs:  # odd P: the last rank sits out
+            return
+        if ctx.rank % 2 == 0:
+            yield from ctx.send(partner, self.block_bytes, tag=1)
+        else:
+            yield ctx.recv(partner, tag=2)   # sender used tag=1
+
+
+def main():
+    print("Dry-running the broken fixtures (no simulator, no network):")
+    for cls in (DeadlockRing, TagMismatch):
+        result = xray(cls(), nprocs=4, iterations=1)
+        print()
+        print(format_commprint(result.manifest))
+        print(f"findings for {cls.__name__}:")
+        for finding in result.findings:
+            print(f"  {finding.location()}: {finding.rule} {finding.message}")
+        assert not result.clean, f"{cls.__name__} should not lint clean"
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,10 @@ Usage::
     python -m repro faults demo [--scale smoke] [--loss 0.01]
     python -m repro lint [paths...] [--select/--ignore SIMxxx,...]
                          [--format text|json] [--baseline FILE] [--stats]
+                         [--comm]
+    python -m repro xray PROG [--nprocs P] [--scale ...] [--iterations N]
+                              [--validate] [--seed N] [--format text|json]
+                              [--out FILE]
     python -m repro profile sor [--scale ...] [--seed N] [--top N]
                                 [--emit-chrome [FILE]] [--emit-metrics [FILE]]
 
@@ -601,7 +605,8 @@ def _cmd_lint(args) -> int:
     try:
         select = args.select.split(",") if args.select else None
         ignore = args.ignore.split(",") if args.ignore else None
-        result = simlint.lint_paths(paths, select=select, ignore=ignore)
+        result = simlint.lint_paths(paths, select=select, ignore=ignore,
+                                    comm=args.comm)
     except ValueError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -641,6 +646,67 @@ def _cmd_lint(args) -> int:
     if result.errors:
         return 1
     return 1 if findings else 0
+
+
+def _cmd_xray(args) -> int:
+    """``repro xray``: static communication analysis + commprint."""
+    from pathlib import Path
+
+    from . import commlint, simlint
+    from .programs.calibration import ITERATIONS, work_model_for
+
+    try:
+        program = commlint.resolve_program(args.program)
+    except ValueError as exc:
+        print(f"xray: {exc}", file=sys.stderr)
+        return 2
+    iterations = args.iterations
+    if iterations is None:
+        iterations = ITERATIONS.get(args.program, {}).get(args.scale, 1)
+    try:
+        result = commlint.xray(program, args.nprocs, iterations)
+    except commlint.XrayError as exc:
+        print(f"xray: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        Path(args.out).write_text(commlint.manifest_json(result.manifest))
+
+    if args.format == "json":
+        findings_doc = json.loads(simlint.format_json(result.lint_result()))
+        print(json.dumps(
+            {"manifest": result.manifest, "lint": findings_doc},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(commlint.format_commprint(result.manifest))
+        if args.out:
+            print(f"[manifest -> {args.out}]")
+        if result.findings:
+            print()
+            print(simlint.format_text(result.lint_result()))
+        else:
+            print("schedule: clean (0 findings)")
+
+    status = 0 if result.clean else 1
+    if args.validate:
+        if result.findings:
+            # A broken schedule would run the simulator dry mid-run and
+            # fail every comparison; report the findings instead.
+            print("validate: skipped — fix the schedule findings first",
+                  file=sys.stderr)
+            return 1
+        work_model = None
+        if args.program in ITERATIONS:
+            work_model = work_model_for(args.program, seed=args.seed)
+        report = commlint.validate_program(
+            program, args.nprocs, iterations, seed=args.seed,
+            work_model=work_model, graph=result.graph,
+        )
+        print(commlint.format_validation(report))
+        if not report.ok:
+            status = 1
+    return status
 
 
 # -- fault injection --------------------------------------------------
@@ -886,7 +952,31 @@ def main(argv=None) -> int:
     p_lint.add_argument("--stats", action="store_true",
                         help="print a coverage summary (files, per-rule "
                              "counts, suppressions)")
+    p_lint.add_argument("--comm", action="store_true",
+                        help="also run the commlint AST rules (COMM0xx)")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_xray = sub.add_parser(
+        "xray",
+        help="static communication analysis + commprint (commlint)",
+    )
+    p_xray.add_argument("program",
+                        help="registry name (sor) or path/to/file.py:Class")
+    p_xray.add_argument("--nprocs", type=int, default=4)
+    p_xray.add_argument("--scale", default="default",
+                        choices=["smoke", "default", "full"],
+                        help="iteration count preset for registry programs")
+    p_xray.add_argument("--iterations", type=int, default=None,
+                        help="override the scale's iteration count")
+    p_xray.add_argument("--seed", type=int, default=0,
+                        help="simulation seed for --validate")
+    p_xray.add_argument("--validate", action="store_true",
+                        help="simulate and assert the commprint matches "
+                             "the captured trace exactly")
+    p_xray.add_argument("--format", choices=["text", "json"], default="text")
+    p_xray.add_argument("--out", metavar="FILE", default=None,
+                        help="write the commprint manifest (JSON) to FILE")
+    p_xray.set_defaults(fn=_cmd_xray)
 
     p_faults = sub.add_parser(
         "faults", help="inspect fault plans and demo fault injection"

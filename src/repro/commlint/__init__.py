@@ -1,0 +1,150 @@
+"""commlint: static SPMD communication analysis (``repro xray``).
+
+The paper's QoS model assumes an Fx program's traffic is knowable at
+compile time.  This package makes the claim operational for our
+:class:`~repro.fx.program.FxProgram` model:
+
+* :mod:`.record` / :mod:`.interp` — an abstract interpreter that
+  dry-runs every rank's generators against a recording ``FxContext``
+  stand-in (no DES, no network) and reconstructs the per-phase static
+  communication graph: (src, dst, tag, bytes) edges, dependency rounds,
+  compute spans;
+* :mod:`.checks` — the schedule checker: deadlocks, unmatched sends,
+  tag mismatches, self-sends, out-of-range ranks, divergent
+  collectives, wildcard races — ``COMM001``..``COMM008`` findings
+  through the simlint report/baseline machinery;
+* :mod:`.astrules` — AST rules for what symbolic execution cannot see
+  (``repro lint --comm``);
+* :mod:`.commprint` — the versioned static traffic manifest, and the
+  purely-static QoS characterization feed;
+* :mod:`.validate` — predict-then-simulate: the commprint must match
+  the captured trace byte-for-byte on delivered stream bytes and
+  message counts.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..fx.program import FxProgram
+from ..simlint.engine import LintResult
+from ..simlint.rules import Finding
+from .astrules import COMM_AST_RULES, analyze_comm
+from .checks import COMM_RULES, as_lint_result, check_graph
+from .commprint import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    format_commprint,
+    manifest_json,
+)
+from .interp import CommGraph, interpret
+from .record import XrayError
+from .validate import ValidationReport, format_validation, validate_program
+
+__all__ = [
+    "COMM_RULES",
+    "COMM_AST_RULES",
+    "MANIFEST_SCHEMA",
+    "CommGraph",
+    "Finding",
+    "XrayError",
+    "XrayResult",
+    "ValidationReport",
+    "analyze_comm",
+    "as_lint_result",
+    "build_manifest",
+    "check_graph",
+    "format_commprint",
+    "format_validation",
+    "interpret",
+    "manifest_json",
+    "resolve_program",
+    "static_characterization",
+    "validate_program",
+    "xray",
+]
+
+
+@dataclass
+class XrayResult:
+    """Everything one ``repro xray`` pass produces."""
+
+    program: FxProgram
+    graph: CommGraph
+    manifest: dict
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def lint_result(self) -> LintResult:
+        """The findings in the lint engine's container (JSON/baseline)."""
+        return as_lint_result(self.findings)
+
+
+def xray(program: FxProgram, nprocs: int, iterations: int = 1) -> XrayResult:
+    """Dry-run ``program``, check its schedule, and build its commprint."""
+    graph = interpret(program, nprocs, iterations)
+    pattern = str(program.pattern) if program.pattern is not None else None
+    return XrayResult(
+        program=program,
+        graph=graph,
+        manifest=build_manifest(graph, pattern=pattern),
+        findings=check_graph(graph),
+    )
+
+
+def static_characterization(program: FxProgram, work_rate: float,
+                            iterations: int = 1):
+    """A purely-static :class:`~repro.core.qos.TrafficCharacterization`.
+
+    Feeds dry-run commprint manifests into
+    :func:`repro.core.qos.characterize_commprint` — the QoS negotiation
+    runs without a simulation (or hand-written metadata) in the loop.
+    """
+    from ..core.qos import characterize_commprint
+
+    def manifest_for(P: int) -> dict:
+        return xray(program, P, iterations).manifest
+
+    return characterize_commprint(
+        program.name, program.pattern, manifest_for, work_rate
+    )
+
+
+def resolve_program(spec: str, program_kwargs: Optional[dict] = None) -> FxProgram:
+    """Resolve a CLI program spec to an instance.
+
+    Accepts a registry name (``sor``) or ``path/to/file.py:ClassName``
+    for out-of-registry programs — the commlint fixtures under
+    ``examples/`` are addressed this way.
+    """
+    if ":" in spec:
+        path, _, attr = spec.rpartition(":")
+        module_spec = importlib.util.spec_from_file_location(
+            "repro_xray_target", path
+        )
+        if module_spec is None or module_spec.loader is None:
+            raise ValueError(f"cannot load module from {path!r}")
+        module = importlib.util.module_from_spec(module_spec)
+        try:
+            module_spec.loader.exec_module(module)
+        except (OSError, SyntaxError) as exc:
+            raise ValueError(f"cannot load {path!r}: {exc}") from exc
+        try:
+            cls = getattr(module, attr)
+        except AttributeError:
+            raise ValueError(f"{path!r} defines no {attr!r}") from None
+        program = cls(**(program_kwargs or {}))
+        if not isinstance(program, FxProgram):
+            raise ValueError(f"{spec!r} is not an FxProgram")
+        return program
+    from ..programs import make_program
+
+    try:
+        return make_program(spec, **(program_kwargs or {}))
+    except KeyError as exc:  # str(KeyError) wraps the message in quotes
+        raise ValueError(exc.args[0] if exc.args else str(exc)) from None

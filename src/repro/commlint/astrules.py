@@ -1,0 +1,153 @@
+"""AST-level commlint rules: what symbolic execution cannot see.
+
+The dry run of :mod:`.interp` explores exactly one control path per
+rank — correct only when control flow inside ``rank_body``/``setup``
+depends on nothing but the rank, the processor count, and program
+parameters.  The Fx compilation model guarantees that for compiled
+code; hand-written bodies can break it.  **COMM007** flags the breach:
+a branch (``if``/``while``/ternary) whose condition involves
+
+* a value received from the network (``x = yield ctx.recv(...)``),
+* a draw from ``random``/``numpy.random``, or
+* live simulator state (``ctx.sim``),
+
+inside a function named ``rank_body`` or ``setup``.  Taint propagates
+through simple assignments and augmented assignments within the
+function, one level deep — the same deliberately-heuristic,
+low-false-positive stance as the SIM rules.
+
+These rules run through the ordinary lint pipeline via
+``repro lint --comm`` (see :func:`repro.simlint.lint_source`), so they
+inherit inline suppression, baselines, and both report formats.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from ..simlint.rules import Finding
+from .checks import COMM_RULES
+
+__all__ = ["COMM_RULES", "COMM_AST_RULES", "analyze_comm"]
+
+#: The subset of COMM rules implemented as AST checks.
+COMM_AST_RULES: Dict[str, str] = {
+    "COMM007": COMM_RULES["COMM007"],
+}
+
+_RANK_FUNCS = {"rank_body", "setup"}
+_RANDOM_MODULES = {"random"}
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name for an attribute/name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_tainted_expr(node: ast.AST, tainted: Set[str],
+                     ctx_names: Set[str]) -> bool:
+    """Does the expression draw on received data, RNG, or sim state?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Yield):
+            return True  # a received value used inline
+        if isinstance(sub, ast.Name) and sub.id in tainted:
+            return True
+        if isinstance(sub, ast.Attribute):
+            dotted = _dotted(sub)
+            root = dotted.split(".", 1)[0] if dotted else ""
+            if root in ctx_names and ".sim." in f".{dotted}.":
+                return True
+        if isinstance(sub, ast.Call):
+            dotted = _dotted(sub.func)
+            root = dotted.split(".", 1)[0] if dotted else ""
+            if root in _RANDOM_MODULES or dotted.startswith("numpy.random.") \
+                    or dotted.startswith("np.random."):
+                return True
+    return False
+
+
+class _BodyAnalyzer:
+    """Taint + branch analysis for one rank_body/setup function."""
+
+    def __init__(self, func: ast.FunctionDef, path: str):
+        self.func = func
+        self.path = path
+        self.findings: List[Finding] = []
+        args = [a.arg for a in func.args.args]
+        # (self, ctx) for methods, (ctx) for free functions.
+        self.ctx_names = {a for a in args if a != "self"}
+
+    def run(self) -> List[Finding]:
+        tainted = self._collect_taint()
+        for node in ast.walk(self.func):
+            test = None
+            if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                test = node.test
+            if test is None:
+                continue
+            if _is_tainted_expr(test, tainted, self.ctx_names):
+                culprits = sorted(_names_in(test) & tainted)
+                detail = (
+                    f" (via {', '.join(culprits)})" if culprits
+                    else " (via received/random/sim state)"
+                )
+                self.findings.append(Finding(
+                    rule="COMM007", path=self.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=f"{self.func.name} branches on data the "
+                            f"schedule cannot know statically{detail}; "
+                            "the communication schedule becomes "
+                            "run-dependent",
+                ))
+        return self.findings
+
+    def _collect_taint(self) -> Set[str]:
+        """Names assigned from yields, RNG draws, or sim state."""
+        tainted: Set[str] = set()
+        # Fixpoint over simple assignments; terminates because the
+        # taint set only grows and names are finite.
+        grew = True
+        while grew:
+            grew = False
+            for node in ast.walk(self.func):
+                targets: List[ast.expr] = []
+                value = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    if node.value is None:
+                        continue
+                    targets, value = [node.target], node.value
+                if value is None:
+                    continue
+                if not _is_tainted_expr(value, tainted, self.ctx_names):
+                    continue
+                for target in targets:
+                    for name in _names_in(target):
+                        if name not in tainted:
+                            tainted.add(name)
+                            grew = True
+        return tainted
+
+
+def analyze_comm(tree: ast.AST, path: str) -> List[Finding]:
+    """COMM AST findings for one parsed module."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name in _RANK_FUNCS:
+            findings.extend(_BodyAnalyzer(node, path).run())
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,212 @@
+"""The schedule checker: COMM0xx findings over a dry-run graph.
+
+Rule IDs (stable, baseline-able through the simlint machinery):
+
+* **COMM001** — the schedule stalls: ranks block forever on receives or
+  barriers (cyclic synchronous waits are called out explicitly).
+* **COMM002** — unmatched send: a message no receive ever consumes.
+* **COMM003** — tag mismatch: a rank blocks receiving (src, tag) while
+  a message from that very source waits with a different tag.
+* **COMM004** — send to self (the live runtime raises on this).
+* **COMM005** — out-of-range rank or invalid send/compute argument.
+* **COMM006** — rank-divergent collective order: ranks arrive at
+  barriers a different number of times, or some ranks wait at a barrier
+  that others have already run past.
+* **COMM007** — *(AST rule, :mod:`.astrules`)* data-dependent branching
+  on non-rank state inside ``rank_body``/``setup``.
+* **COMM008** — message race: a wildcard receive matched while messages
+  from several sources were queued, so the winner is timing-dependent.
+
+Graph findings are reported as :class:`repro.simlint.Finding` objects
+grouped into the engine's :class:`FileReport`/:class:`LintResult`
+containers, so ``format_json``, ``--stats``, and the baseline
+round-trip all work on them unchanged.
+"""
+
+from __future__ import annotations
+
+import linecache
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..simlint.engine import FileReport, LintResult, _fingerprint
+from ..simlint.rules import Finding
+from .interp import BlockedRank, CommGraph
+from .record import RecvOp, SendOp, Site
+
+__all__ = ["COMM_RULES", "check_graph", "as_lint_result"]
+
+#: Rule ID -> one-line summary (merged into lint legends and --stats).
+COMM_RULES: Dict[str, str] = {
+    "COMM001": "communication schedule stalls (deadlock)",
+    "COMM002": "sent message is never received",
+    "COMM003": "send/recv tag mismatch",
+    "COMM004": "rank sends to itself",
+    "COMM005": "out-of-range rank or invalid argument",
+    "COMM006": "rank-divergent collective order",
+    "COMM007": "data-dependent branch on non-rank state in rank body",
+    "COMM008": "wildcard receive races multiple pending senders",
+}
+
+
+def _display(path: str) -> str:
+    try:
+        return str(Path(path).relative_to(Path.cwd()))
+    except ValueError:
+        return path
+
+
+def _finding(rule: str, site: Site, message: str) -> Finding:
+    path = _display(site.file)
+    line_text = linecache.getline(site.file, site.line)
+    return Finding(
+        rule=rule, path=path, line=site.line, col=0, message=message,
+        fingerprint=_fingerprint(rule, path, line_text),
+    )
+
+
+def _wait_cycle(blocked: List[BlockedRank]) -> Optional[List[int]]:
+    """A cycle in the recv wait-for graph (rank -> awaited source)."""
+    waits = {
+        b.rank: b.op.src for b in blocked
+        if b.kind == "recv" and isinstance(b.op, RecvOp)
+        and b.op.src is not None
+    }
+    for start in sorted(waits):
+        seen: List[int] = []
+        rank: Optional[int] = start
+        while rank is not None and rank not in seen:
+            seen.append(rank)
+            rank = waits.get(rank)
+        if rank is not None:
+            return seen[seen.index(rank):] + [rank]
+    return None
+
+
+def check_graph(graph: CommGraph) -> List[Finding]:
+    """Every schedule defect the dry run exposed, as findings."""
+    findings: List[Finding] = []
+
+    # Argument violations recorded during interpretation.
+    for violation in graph.violations:
+        findings.append(_finding(violation.code, violation.site,
+                                 violation.message))
+
+    # Message races on wildcard receives.
+    seen_race_sites = set()
+    for race in graph.races:
+        key = (race.recv.site.file, race.recv.site.line)
+        if key in seen_race_sites:
+            continue
+        seen_race_sites.add(key)
+        findings.append(_finding(
+            "COMM008", race.recv.site,
+            f"rank {race.recv.rank} receives with no source filter while "
+            f"messages from ranks {race.sources} are pending; the match "
+            "depends on arrival timing",
+        ))
+
+    if graph.deadlocked:
+        findings.extend(_deadlock_findings(graph))
+
+    # Unmatched sends: messages still in a mailbox when the run ended.
+    unmatched: Dict[Tuple[str, int, int, int, int], int] = {}
+    for m in graph.unmatched:
+        key = (m.site.file, m.site.line, m.src, m.dst, m.tag)
+        unmatched[key] = unmatched.get(key, 0) + 1
+    for (file, line, src, dst, tag), count in sorted(unmatched.items()):
+        noun = "message" if count == 1 else "messages"
+        findings.append(_finding(
+            "COMM002", Site(file, line),
+            f"{count} {noun} from rank {src} to rank {dst} (tag {tag}) "
+            "never received",
+        ))
+
+    # Collective-order divergence visible at clean termination: ranks
+    # arrived at barriers a different number of times.
+    if not graph.deadlocked and len(set(graph.barrier_counts)) > 1:
+        counts = ", ".join(
+            f"rank {r}: {n}" for r, n in enumerate(graph.barrier_counts)
+        )
+        site = graph.barriers[0].site if graph.barriers else Site("<program>", 0)
+        findings.append(_finding(
+            "COMM006", site,
+            f"ranks arrive at barriers a divergent number of times ({counts})",
+        ))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+def _deadlock_findings(graph: CommGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    recv_blocked = [b for b in graph.blocked if b.kind == "recv"]
+    barrier_blocked = [b for b in graph.blocked if b.kind == "barrier"]
+
+    # Tag mismatches: the awaited source did send — with the wrong tag.
+    msgs_by_dst: Dict[int, List[SendOp]] = {}
+    for m in graph.unmatched:
+        msgs_by_dst.setdefault(m.dst, []).append(m)
+    for b in recv_blocked:
+        op = b.op
+        if not isinstance(op, RecvOp) or op.tag is None:
+            continue
+        offered = sorted({
+            m.tag for m in msgs_by_dst.get(b.rank, [])
+            if (op.src is None or m.src == op.src) and m.tag != op.tag
+        })
+        if offered:
+            src_desc = ("any rank" if op.src is None else f"rank {op.src}")
+            findings.append(_finding(
+                "COMM003", op.site,
+                f"rank {b.rank} waits for tag {op.tag} from {src_desc}, "
+                f"but the pending {'message carries' if len(offered) == 1 else 'messages carry'} "
+                f"tag{'s' if len(offered) > 1 else ''} "
+                f"{', '.join(str(t) for t in offered)}",
+            ))
+
+    # The stall itself, with the wait-for cycle when one exists.
+    if graph.blocked:
+        cycle = _wait_cycle(graph.blocked)
+        stalled = ", ".join(
+            f"rank {b.rank} ({b.kind})" for b in graph.blocked
+        )
+        if cycle is not None:
+            shape = " -> ".join(f"rank {r}" for r in cycle)
+            detail = f"cyclic synchronous waits: {shape}"
+        else:
+            detail = f"stalled ranks: {stalled}"
+        anchor = graph.blocked[0].op.site
+        findings.append(_finding(
+            "COMM001", anchor,
+            f"communication schedule stalls after "
+            f"{len(graph.finished_ranks)} of {graph.nprocs} ranks finish; "
+            f"{detail}",
+        ))
+
+    # Barrier divergence: some ranks wait at a barrier others ran past.
+    if barrier_blocked and len(barrier_blocked) < graph.nprocs:
+        absent = sorted(
+            set(range(graph.nprocs)) - {b.rank for b in barrier_blocked}
+        )
+        findings.append(_finding(
+            "COMM006", barrier_blocked[0].op.site,
+            f"rank{'s' if len(barrier_blocked) > 1 else ''} "
+            f"{', '.join(str(b.rank) for b in barrier_blocked)} wait at a "
+            f"barrier that rank{'s' if len(absent) > 1 else ''} "
+            f"{', '.join(str(r) for r in absent)} never reach",
+        ))
+    return findings
+
+
+def as_lint_result(findings: List[Finding]) -> LintResult:
+    """Package graph findings the way the lint engine would."""
+    result = LintResult()
+    by_path: Dict[str, List[Finding]] = {}
+    for f in findings:
+        by_path.setdefault(f.path, []).append(f)
+    for path in sorted(by_path):
+        result.reports.append(
+            FileReport(path=path, findings=by_path[path])
+        )
+    return result

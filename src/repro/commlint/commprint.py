@@ -1,0 +1,180 @@
+"""The commprint: a program's traffic, predicted at "compile" time.
+
+The paper's premise is that an Fx program's communication is static —
+knowable before it runs.  A commprint makes that concrete: a versioned
+manifest of per-phase message counts, payload bytes ``N``, work ``W``,
+dependency rounds, and concurrent-connection counts, derived purely
+from the dry-run graph of :mod:`.interp`.
+
+Determinism contract: the same (program, P, iterations) always yields
+byte-identical manifest JSON.  The manifest therefore carries no
+timestamps, no absolute paths, and is serialized with sorted keys;
+consecutive identical body phases collapse into one record with a
+``repeat`` count, so SOR at 100 iterations prints as one line, not 100.
+
+``stream_bytes`` is the transport's view: payload plus the 24-byte PVM
+message header — exactly what a fault-free simulated trace delivers per
+direction once TCP/IP+Ethernet framing (58 bytes per data frame) and
+ACKs are set aside.  ``repro xray --validate`` holds us to that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .interp import CommGraph
+from .record import MSG_HEADER, SendOp
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "manifest_json",
+    "format_commprint",
+]
+
+#: Bump on any change to the manifest's structure or field meanings.
+MANIFEST_SCHEMA = 1
+
+
+def _phase_record(label: str, msgs: List[SendOp],
+                  work_by_rank: List[float]) -> dict:
+    """One phase's aggregate tables (repeat count filled in later)."""
+    edges: Dict[Tuple[int, int, int], List[int]] = {}
+    rounds: Dict[int, set] = {}
+    for m in msgs:
+        key = (m.src, m.dst, m.tag)
+        entry = edges.setdefault(key, [0, 0])
+        entry[0] += 1
+        entry[1] += m.nbytes
+        rounds.setdefault(m.round, set()).add((m.src, m.dst))
+    pairs = {(src, dst) for src, dst, _tag in edges}
+    concurrent = max((len(p) for p in rounds.values()), default=0)
+    total_work = sum(work_by_rank)
+    return {
+        "label": label,
+        "repeat": 1,
+        "messages": len(msgs),
+        "payload_bytes": sum(m.nbytes for m in msgs),
+        "stream_bytes": sum(m.nbytes for m in msgs) + MSG_HEADER * len(msgs),
+        "fragments": sum(m.fragments for m in msgs),
+        "work_units": total_work,
+        "max_rank_work_units": max(work_by_rank, default=0.0),
+        "rounds": max(rounds, default=0),
+        "connections": len(pairs),
+        "concurrent_connections": concurrent,
+        "edges": [
+            {"src": src, "dst": dst, "tag": tag,
+             "messages": count, "payload_bytes": nbytes}
+            for (src, dst, tag), (count, nbytes) in sorted(edges.items())
+        ],
+    }
+
+
+def _same_phase(a: dict, b: dict) -> bool:
+    """Phase records identical up to their repeat counts."""
+    keys = set(a) - {"repeat"}
+    return a["label"] == b["label"] and all(a[k] == b[k] for k in keys)
+
+
+def build_manifest(graph: CommGraph,
+                   pattern: Optional[str] = None) -> dict:
+    """The versioned commprint manifest for one dry-run graph."""
+    # Bucket every op by its segment; segments appear in driver order.
+    if graph.segmented:
+        order = [("setup", 0)] + [("body", i) for i in range(graph.iterations)]
+    else:
+        order = [("run", 0)]
+    msgs_by_seg: Dict[Tuple[str, int], List[SendOp]] = {s: [] for s in order}
+    work_by_seg: Dict[Tuple[str, int], List[float]] = {
+        s: [0.0] * graph.nprocs for s in order
+    }
+    for m in graph.messages:
+        msgs_by_seg[(m.segment, m.seg_index)].append(m)
+    for c in graph.computes:
+        work_by_seg[(c.segment, c.seg_index)][c.rank] += c.work
+
+    phases: List[dict] = []
+    for seg in order:
+        record = _phase_record(seg[0], msgs_by_seg[seg], work_by_seg[seg])
+        if seg[0] == "setup" and record["messages"] == 0 \
+                and record["work_units"] == 0:
+            continue  # empty default setup: not a phase
+        if phases and _same_phase(phases[-1], record):
+            phases[-1]["repeat"] += 1
+        else:
+            phases.append(record)
+
+    pair_payloads = graph.pair_payloads()
+    per_connection = [
+        {"src": src, "dst": dst, "messages": count,
+         "payload_bytes": pair_payloads[(src, dst)],
+         "stream_bytes": pair_payloads[(src, dst)] + MSG_HEADER * count}
+        for (src, dst), count in sorted(graph.pair_counts().items())
+    ]
+    sent = graph.sent_by_rank()
+    received = graph.received_by_rank()
+    work = graph.work_by_rank()
+    total_payload = sum(m.nbytes for m in graph.messages)
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "tool": "repro.commlint",
+        "program": graph.program,
+        "pattern": pattern,
+        "nprocs": graph.nprocs,
+        "iterations": graph.iterations,
+        "segmented": graph.segmented,
+        "msg_header_bytes": MSG_HEADER,
+        "phases": phases,
+        "per_connection": per_connection,
+        "per_rank": [
+            {"rank": r, "sent": sent[r], "received": received[r],
+             "work_units": work[r]}
+            for r in range(graph.nprocs)
+        ],
+        "totals": {
+            "messages": len(graph.messages),
+            "payload_bytes": total_payload,
+            "stream_bytes": total_payload + MSG_HEADER * len(graph.messages),
+            "fragments": sum(m.fragments for m in graph.messages),
+            "work_units": sum(work),
+            "connections": len(graph.pair_counts()),
+        },
+    }
+
+
+def manifest_json(manifest: dict) -> str:
+    """The canonical (byte-stable) serialization of a manifest."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def _fmt_bytes(n: int) -> str:
+    return f"{n:,} B"
+
+
+def format_commprint(manifest: dict) -> str:
+    """Human-readable commprint summary for ``repro xray``."""
+    lines = [
+        f"commprint {manifest['program']} @ P={manifest['nprocs']}, "
+        f"iterations={manifest['iterations']}"
+        + (f", pattern={manifest['pattern']}" if manifest["pattern"] else ""),
+        "phases:",
+    ]
+    for phase in manifest["phases"]:
+        lines.append(
+            f"  {phase['label']:<6} x{phase['repeat']:<4} "
+            f"{phase['messages']:>6} msgs  "
+            f"{_fmt_bytes(phase['payload_bytes']):>14} payload  "
+            f"{phase['rounds']:>2} rounds  "
+            f"{phase['concurrent_connections']:>3} concurrent  "
+            f"work {phase['work_units']:,.0f}"
+        )
+    totals = manifest["totals"]
+    lines.append(
+        f"totals: {totals['messages']} messages, "
+        f"{_fmt_bytes(totals['payload_bytes'])} payload "
+        f"({_fmt_bytes(totals['stream_bytes'])} on-stream), "
+        f"{totals['connections']} connections, "
+        f"work {totals['work_units']:,.0f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,374 @@
+"""The abstract interpreter: dry-run every rank, no DES, no network.
+
+Each rank's generators run against a :class:`RecordingContext` under a
+deterministic round-robin scheduler.  The blocking semantics mirror the
+simulated PVM exactly:
+
+* **sends never block** — the live transport's dispatcher processes
+  always drain pipes into the receiver's mailbox, so a send only costs
+  time, never progress.  Here a send appends to the destination's
+  mailbox immediately.
+* **receives block on match** — the mailbox is scanned in FIFO order
+  with the same (source, tag) predicate as
+  :meth:`repro.des.resources.FilterStore.get`; no match parks the rank.
+* **barriers release when all P ranks arrive**, like
+  :meth:`FxRuntime._barrier_arrive`.
+
+A full scheduler pass in which no rank advances a single step is a
+stall: real deadlock, a lost message, or divergent collectives — the
+checker (:mod:`.checks`) turns the frozen state into findings.
+
+Programs using the default :meth:`FxProgram.run` driver are interpreted
+segment by segment — ``setup`` once, then ``rank_body`` per iteration —
+which labels every operation with its phase and makes the commprint's
+per-phase tables exact.  A program overriding ``run`` is interpreted as
+one opaque ``run`` segment instead (same semantics, coarser phases).
+
+Rounds are dependency levels, not library shifts: a message's round is
+its sender's level + 1 at send time, and a matched receive raises the
+receiver's level to the message's round.  At P=8 this reproduces the
+tree reduce's three up-sweep rounds plus the broadcast's fourth, and
+the all-to-all's P-1 shift rounds, without knowing either schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fx.program import FxProgram
+from .record import (
+    BarrierOp,
+    BarrierToken,
+    ComputeOp,
+    ComputeToken,
+    RecordingContext,
+    RecvOp,
+    RecvToken,
+    SendOp,
+    Violation,
+    XrayError,
+)
+
+__all__ = ["CommGraph", "BlockedRank", "RaceEvent", "interpret"]
+
+#: Hard ceiling on recorded operations — a backstop against unbounded
+#: bodies (``while True: yield ctx.compute(1)``), far above any real
+#: program at the paper's scales (SEQ/full records ~120k ops).
+MAX_OPS = 10_000_000
+
+
+@dataclass
+class BlockedRank:
+    """A rank frozen mid-schedule when interpretation stalled."""
+
+    rank: int
+    kind: str                       # "recv" | "barrier"
+    op: object                      # the RecvOp / BarrierOp waited on
+    #: Sources whose messages sit in this rank's mailbox (any tag).
+    pending_sources: List[int] = field(default_factory=list)
+
+
+@dataclass
+class RaceEvent:
+    """A wildcard receive that had messages from several sources queued.
+
+    The simulated :class:`FilterStore` would hand over whichever arrived
+    first — an ordering that depends on timing, so the matched payload
+    is not schedule-determined.
+    """
+
+    recv: RecvOp
+    sources: List[int]
+
+
+@dataclass
+class CommGraph:
+    """Everything the dry run learned about one (program, P) pair."""
+
+    program: str
+    nprocs: int
+    iterations: int
+    #: True when interpreted as setup + per-iteration body segments.
+    segmented: bool
+    messages: List[SendOp] = field(default_factory=list)
+    recvs: List[RecvOp] = field(default_factory=list)
+    computes: List[ComputeOp] = field(default_factory=list)
+    barriers: List[BarrierOp] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    races: List[RaceEvent] = field(default_factory=list)
+    deadlocked: bool = False
+    blocked: List[BlockedRank] = field(default_factory=list)
+    finished_ranks: List[int] = field(default_factory=list)
+    barrier_counts: List[int] = field(default_factory=list)
+    #: Messages still sitting in a mailbox when interpretation ended.
+    unmatched: List[SendOp] = field(default_factory=list)
+
+    # -- aggregate views ----------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        """No violations, no stall, no leftovers, no races."""
+        return not (self.violations or self.deadlocked
+                    or self.unmatched or self.races)
+
+    def sent_by_rank(self) -> List[int]:
+        counts = [0] * self.nprocs
+        for m in self.messages:
+            counts[m.src] += 1
+        return counts
+
+    def received_by_rank(self) -> List[int]:
+        counts = [0] * self.nprocs
+        for m in self.messages:
+            if m.delivered:
+                counts[m.dst] += 1
+        return counts
+
+    def work_by_rank(self) -> List[float]:
+        work = [0.0] * self.nprocs
+        for c in self.computes:
+            work[c.rank] += c.work
+        return work
+
+    def pair_payloads(self) -> Dict[Tuple[int, int], int]:
+        """Payload bytes per ordered (src, dst) pair, header excluded."""
+        pairs: Dict[Tuple[int, int], int] = {}
+        for m in self.messages:
+            key = (m.src, m.dst)
+            pairs[key] = pairs.get(key, 0) + m.nbytes
+        return pairs
+
+    def pair_counts(self) -> Dict[Tuple[int, int], int]:
+        pairs: Dict[Tuple[int, int], int] = {}
+        for m in self.messages:
+            key = (m.src, m.dst)
+            pairs[key] = pairs.get(key, 0) + 1
+        return pairs
+
+
+class _RankState:
+    """Scheduler bookkeeping for one rank."""
+
+    __slots__ = ("rank", "ctx", "segments", "seg_pos", "segment", "gen",
+                 "resume", "blocked", "done", "level", "mailbox")
+
+    def __init__(self, rank: int, ctx: RecordingContext,
+                 segments: List[Tuple[str, int]]):
+        self.rank = rank
+        self.ctx = ctx
+        self.segments = segments
+        self.seg_pos = 0
+        self.segment: Tuple[str, int] = ("run", 0)
+        self.gen = None
+        self.resume = None
+        self.blocked: Optional[object] = None   # RecvToken | BarrierToken
+        self.done = False
+        self.level = 0
+        self.mailbox: List[SendOp] = []
+
+
+class _Interp:
+    """One interpretation run; collected into a :class:`CommGraph`."""
+
+    def __init__(self, program: FxProgram, nprocs: int, iterations: int):
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        self.program = program
+        self.nprocs = nprocs
+        self.iterations = iterations
+        self.segmented = type(program).run is FxProgram.run
+        if self.segmented:
+            segments = [("setup", 0)]
+            segments += [("body", i) for i in range(iterations)]
+        else:
+            segments = [("run", 0)]
+        self.graph = CommGraph(
+            program=program.name, nprocs=nprocs, iterations=iterations,
+            segmented=self.segmented,
+            barrier_counts=[0] * nprocs,
+        )
+        self.states = [
+            _RankState(r, RecordingContext(self, r, nprocs), list(segments))
+            for r in range(nprocs)
+        ]
+        self._seq = 0
+        self._ops = 0
+        self._barrier_waiting: List[_RankState] = []
+
+    # -- recording callbacks (called by RecordingContext) -------------------
+    def _stamp(self, op, rank: int) -> None:
+        op.segment, op.seg_index = self.states[rank].segment
+        self._ops += 1
+        if self._ops > MAX_OPS:
+            raise XrayError(
+                f"op budget exceeded ({MAX_OPS} operations): the rank "
+                "bodies do not terminate at this P/iteration count"
+            )
+
+    def record_compute(self, op: ComputeOp) -> None:
+        self._stamp(op, op.rank)
+        self.graph.computes.append(op)
+
+    def record_send(self, src: int, dst: int, tag: int, nbytes: int,
+                    fragments: int, site) -> None:
+        st = self.states[src]
+        op = SendOp(
+            seq=self._seq, src=src, dst=dst, tag=tag, nbytes=nbytes,
+            fragments=fragments, site=site, round=st.level + 1,
+        )
+        self._stamp(op, src)
+        self._seq += 1
+        self.graph.messages.append(op)
+        self.states[dst].mailbox.append(op)
+
+    def record_recv(self, op: RecvOp) -> None:
+        self._stamp(op, op.rank)
+        self.graph.recvs.append(op)
+
+    def record_barrier(self, op: BarrierOp) -> None:
+        self._stamp(op, op.rank)
+        self.graph.barriers.append(op)
+        self.graph.barrier_counts[op.rank] += 1
+
+    def record_violation(self, violation: Violation) -> None:
+        self.graph.violations.append(violation)
+
+    # -- mailbox matching (FilterStore.get semantics) -----------------------
+    def _match(self, st: _RankState, token: RecvToken) -> Optional[SendOp]:
+        op = token.op
+        candidates = [
+            m for m in st.mailbox
+            if (op.src is None or m.src == op.src)
+            and (op.tag is None or m.tag == op.tag)
+        ]
+        if not candidates:
+            return None
+        if op.src is None:
+            sources = sorted({m.src for m in candidates})
+            if len(sources) > 1:
+                self.graph.races.append(RaceEvent(recv=op, sources=sources))
+        return candidates[0]
+
+    def _deliver(self, st: _RankState, token: RecvToken, msg: SendOp) -> None:
+        st.mailbox.remove(msg)
+        msg.delivered = True
+        msg.recv_seg = st.segment
+        token.op.matched_seq = msg.seq
+        if msg.recv_seg == (msg.segment, msg.seg_index):
+            # Same-phase dependency: the receive deepens this rank's level.
+            st.level = max(st.level, msg.round)
+
+    # -- the scheduler ------------------------------------------------------
+    def _enter_segment(self, st: _RankState) -> bool:
+        """Open the next segment's generator; False when the rank is done."""
+        if st.seg_pos >= len(st.segments):
+            st.done = True
+            return False
+        st.segment = st.segments[st.seg_pos]
+        st.seg_pos += 1
+        st.level = 0
+        label = st.segment[0]
+        if label == "setup":
+            gen = self.program.setup(st.ctx)
+        elif label == "body":
+            gen = self.program.rank_body(st.ctx)
+        else:
+            gen = self.program.run(st.ctx, self.iterations)
+        if gen is None or not hasattr(gen, "send"):
+            raise XrayError(
+                f"{self.program.name}.{'rank_body' if label == 'body' else label} "
+                f"did not return a generator (got {type(gen).__name__})"
+            )
+        st.gen = gen
+        return True
+
+    def _advance(self, st: _RankState) -> bool:
+        """Drive one rank until it blocks or finishes; True if it moved."""
+        moved = False
+        while not st.done:
+            if st.blocked is not None:
+                if isinstance(st.blocked, RecvToken):
+                    msg = self._match(st, st.blocked)
+                    if msg is None:
+                        return moved
+                    self._deliver(st, st.blocked, msg)
+                    st.resume = msg
+                    st.blocked = None
+                    moved = True
+                else:   # barrier: released externally by the last arrival
+                    return moved
+            if st.gen is None:
+                if not self._enter_segment(st):
+                    return True  # finishing is progress
+                moved = True
+            try:
+                yielded = st.gen.send(st.resume)
+            except StopIteration:
+                st.gen = None
+                st.resume = None
+                moved = True
+                continue
+            st.resume = None
+            moved = True
+            if isinstance(yielded, ComputeToken):
+                continue
+            if isinstance(yielded, (int, float)):
+                continue  # a bare delay (the DES sleep protocol)
+            if isinstance(yielded, RecvToken):
+                if yielded.invalid:
+                    continue  # violation recorded; do not block on it
+                msg = self._match(st, yielded)
+                if msg is not None:
+                    self._deliver(st, yielded, msg)
+                    st.resume = msg
+                    continue
+                st.blocked = yielded
+                return moved
+            if isinstance(yielded, BarrierToken):
+                self._barrier_waiting.append(st)
+                if len(self._barrier_waiting) == self.nprocs:
+                    waiting, self._barrier_waiting = self._barrier_waiting, []
+                    for other in waiting:
+                        if other is not st:
+                            other.blocked = None
+                            other.resume = None
+                    continue
+                st.blocked = yielded
+                return moved
+            raise XrayError(
+                f"rank {st.rank} yielded {type(yielded).__name__!r}; "
+                "static analysis understands compute tokens, sends, "
+                "receives, barriers, and bare delays"
+            )
+        return moved
+
+    def run(self) -> CommGraph:
+        while True:
+            if all(st.done for st in self.states):
+                break
+            progressed = False
+            for st in self.states:
+                progressed = self._advance(st) or progressed
+            if not progressed:
+                self.graph.deadlocked = True
+                break
+        for st in self.states:
+            if st.done:
+                self.graph.finished_ranks.append(st.rank)
+            elif st.blocked is not None:
+                kind = "recv" if isinstance(st.blocked, RecvToken) else "barrier"
+                self.graph.blocked.append(BlockedRank(
+                    rank=st.rank, kind=kind, op=st.blocked.op,
+                    pending_sources=sorted({m.src for m in st.mailbox}),
+                ))
+            self.graph.unmatched.extend(st.mailbox)
+        self.graph.unmatched.sort(key=lambda m: m.seq)
+        return self.graph
+
+
+def interpret(program: FxProgram, nprocs: int,
+              iterations: int = 1) -> CommGraph:
+    """Dry-run ``program`` at P ranks and return its communication graph."""
+    return _Interp(program, nprocs, iterations).run()

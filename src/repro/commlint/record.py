@@ -1,0 +1,295 @@
+"""Recording stand-ins for the Fx runtime (the xray "dry run" layer).
+
+:class:`RecordingContext` mirrors :class:`~repro.fx.runtime.FxContext`'s
+API surface — ``rank``/``nprocs``/``compute``/``send``/``recv``/
+``barrier`` — but touches no simulator and no network.  ``compute``
+returns a token carrying the work units, ``send`` records the message
+and returns an already-exhausted generator (so ``yield from`` costs one
+resume, like the real send's overhead sleep), and ``recv``/``barrier``
+return wait tokens the abstract interpreter resolves.
+
+Two deliberate departures from the live context:
+
+* invalid arguments (self-send, out-of-range ranks, bad fragment
+  counts) are recorded as :class:`Violation` entries instead of raised,
+  so one xray pass reports *every* defect in a schedule rather than
+  dying on the first;
+* ``ctx.sim`` is a :class:`_StaticSim` stub pinned at t=0 — a body that
+  branches on simulation time is data-dependent by definition, which is
+  exactly what the COMM007 AST rule exists to flag.
+
+Timing parity that matters for validation: the live
+``VirtualMachine.send`` increments ``messages_sent`` at *call* time, so
+``RecordingContext.send`` records its message at call time too, and the
+live ``ctx.compute`` appends to the phase log when called, not when the
+yielded delay elapses.  Matching those instants keeps the static
+op-stream ordered exactly like the simulated one.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..pvm.message import MSG_HEADER
+
+__all__ = [
+    "MSG_HEADER",
+    "XrayError",
+    "Site",
+    "call_site",
+    "ComputeOp",
+    "SendOp",
+    "RecvOp",
+    "BarrierOp",
+    "Violation",
+    "ComputeToken",
+    "RecvToken",
+    "BarrierToken",
+    "RecordingContext",
+]
+
+
+class XrayError(RuntimeError):
+    """The program under analysis cannot be interpreted statically."""
+
+
+@dataclass(frozen=True)
+class Site:
+    """Source location of a communication call (for findings)."""
+
+    file: str
+    line: int
+
+
+_THIS_FILE = __file__
+
+
+def call_site() -> Site:
+    """The nearest stack frame outside this module.
+
+    Collectives in :mod:`repro.fx.patterns` call ``ctx.send`` on the
+    program's behalf; walking past this module (but no further) pins the
+    finding on the line that actually issued the operation.
+    """
+    depth = 1
+    while True:
+        frame = sys._getframe(depth)
+        if frame.f_code.co_filename != _THIS_FILE:
+            return Site(frame.f_code.co_filename, frame.f_lineno)
+        depth += 1
+
+
+#: Segment label for ops recorded outside the default run decomposition.
+SEG_RUN = "run"
+
+
+@dataclass
+class ComputeOp:
+    """One ``ctx.compute(work)`` span."""
+
+    rank: int
+    work: float
+    site: Site
+    segment: str = SEG_RUN
+    seg_index: int = 0
+
+
+@dataclass
+class SendOp:
+    """One message: recorded at send-call time, delivered on match.
+
+    ``round`` is a dependency level (sender's level + 1 at send time;
+    receivers raise their level to the message's round), so rounds
+    reflect the true synchronization depth of the schedule, not the
+    textual order of library calls.
+    """
+
+    seq: int
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    fragments: int
+    site: Site
+    segment: str = SEG_RUN
+    seg_index: int = 0
+    round: int = 1
+    delivered: bool = False
+    recv_seg: Optional[Tuple[str, int]] = None
+
+    @property
+    def stream_bytes(self) -> int:
+        """Bytes the transport carries: payload plus the PVM header."""
+        return self.nbytes + MSG_HEADER
+
+
+@dataclass
+class RecvOp:
+    """One ``ctx.recv(src, tag)`` wait."""
+
+    rank: int
+    src: Optional[int]
+    tag: Optional[int]
+    site: Site
+    segment: str = SEG_RUN
+    seg_index: int = 0
+    matched_seq: Optional[int] = None
+
+
+@dataclass
+class BarrierOp:
+    """One ``ctx.barrier()`` arrival."""
+
+    rank: int
+    site: Site
+    segment: str = SEG_RUN
+    seg_index: int = 0
+
+
+@dataclass
+class Violation:
+    """An argument error the live runtime would have raised."""
+
+    code: str
+    rank: int
+    message: str
+    site: Site
+
+
+class ComputeToken:
+    """Yielded by the recording ``compute``; the interpreter skips it."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: ComputeOp):
+        self.op = op
+
+
+class RecvToken:
+    """Yielded by the recording ``recv``; resolved against a mailbox.
+
+    ``invalid`` receives (out-of-range source) resume immediately with
+    ``None`` — the defect is already recorded as a violation, and
+    blocking on it would fabricate a second, phantom deadlock finding.
+    """
+
+    __slots__ = ("op", "invalid")
+
+    def __init__(self, op: RecvOp, invalid: bool = False):
+        self.op = op
+        self.invalid = invalid
+
+
+class BarrierToken:
+    """Yielded by the recording ``barrier``; released when all arrive."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: BarrierOp):
+        self.op = op
+
+
+def _spent_generator() -> Iterator[None]:
+    """What the recording ``send`` returns for ``yield from``."""
+    return
+    yield  # pragma: no cover
+
+
+class _StaticSim:
+    """``ctx.sim`` stand-in: time is pinned at zero during a dry run."""
+
+    now = 0.0
+
+    def __getattr__(self, name: str):
+        raise XrayError(
+            f"rank body touched ctx.sim.{name}: live simulator state is "
+            "not available during static analysis"
+        )
+
+
+class RecordingContext:
+    """The per-rank dry-run view handed to ``rank_body``/``setup``."""
+
+    def __init__(self, interp, rank: int, nprocs: int):
+        self._interp = interp
+        self.rank = rank
+        self.nprocs = nprocs
+        self.sim = _StaticSim()
+        # Live-context attributes a body could legitimately read.
+        self.task = None
+        self.work_model = None
+        self.runtime = None
+
+    # -- local computation ------------------------------------------------
+    def compute(self, work: float) -> ComputeToken:
+        site = call_site()
+        if work < 0:
+            self._interp.record_violation(Violation(
+                "COMM005", self.rank,
+                f"rank {self.rank} computes negative work {work!r}", site,
+            ))
+            work = 0.0
+        op = ComputeOp(rank=self.rank, work=float(work), site=site)
+        self._interp.record_compute(op)
+        return ComputeToken(op)
+
+    # -- point-to-point ---------------------------------------------------
+    def send(self, dst_rank: int, nbytes: int, tag: int = 0,
+             obj=None, fragments: int = 1):
+        site = call_site()
+        ok = True
+        if not 0 <= dst_rank < self.nprocs:
+            self._interp.record_violation(Violation(
+                "COMM005", self.rank,
+                f"rank {self.rank} sends to out-of-range rank {dst_rank} "
+                f"(P={self.nprocs})", site,
+            ))
+            ok = False
+        elif dst_rank == self.rank:
+            self._interp.record_violation(Violation(
+                "COMM004", self.rank,
+                f"rank {self.rank} sends to itself", site,
+            ))
+            ok = False
+        if fragments < 1:
+            self._interp.record_violation(Violation(
+                "COMM005", self.rank,
+                f"rank {self.rank} packs an invalid fragment count "
+                f"{fragments}", site,
+            ))
+            fragments = 1
+        if nbytes < 0:
+            self._interp.record_violation(Violation(
+                "COMM005", self.rank,
+                f"rank {self.rank} sends negative payload {nbytes}", site,
+            ))
+            ok = False
+        if ok:
+            self._interp.record_send(
+                src=self.rank, dst=dst_rank, tag=tag, nbytes=int(nbytes),
+                fragments=int(fragments), site=site,
+            )
+        return _spent_generator()
+
+    def recv(self, src_rank: Optional[int] = None,
+             tag: Optional[int] = None) -> RecvToken:
+        site = call_site()
+        invalid = False
+        if src_rank is not None and not 0 <= src_rank < self.nprocs:
+            self._interp.record_violation(Violation(
+                "COMM005", self.rank,
+                f"rank {self.rank} receives from out-of-range rank "
+                f"{src_rank} (P={self.nprocs})", site,
+            ))
+            invalid = True
+        op = RecvOp(rank=self.rank, src=src_rank, tag=tag, site=site)
+        self._interp.record_recv(op)
+        return RecvToken(op, invalid=invalid)
+
+    # -- out-of-band barrier ----------------------------------------------
+    def barrier(self) -> BarrierToken:
+        op = BarrierOp(rank=self.rank, site=call_site())
+        self._interp.record_barrier(op)
+        return BarrierToken(op)

@@ -1,0 +1,213 @@
+"""Prediction vs. simulation: the ``repro xray --validate`` contract.
+
+The commprint predicts what the *application* hands the transport; the
+simulated trace records what the *wire* carried.  In a fault-free run
+the two are related exactly:
+
+    per-direction delivered stream bytes
+        = sum over TCP data frames (retx == 0) of (frame size - 58)
+        = sum over predicted messages of (payload + 24-byte PVM header)
+
+where 58 = 20 (IP) + 20 (TCP) + 18 (Ethernet framing) per data frame.
+Everything else on the wire — per-frame header overhead, pure ACKs,
+daemon keepalive UDP — is transport/daemon bookkeeping the commprint
+does not (and should not) predict; the report accounts for it
+separately rather than excusing it silently.
+
+Message *counts* are checked against the PVM per-task counters
+(``messages_sent`` / ``messages_received``), which the recording
+context's call-time semantics mirror one-for-one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..capture.trace import KIND_TCP_ACK, KIND_TCP_DATA, KIND_UDP
+from ..fx.compute import WorkModel
+from ..fx.program import FxProgram
+from ..fx.runtime import FxCluster, FxRuntime
+from ..net.frame import ETHERNET_OVERHEAD
+from ..transport.headers import IP_HEADER, TCP_HEADER
+from .interp import CommGraph, interpret
+
+__all__ = ["ValidationReport", "validate_program", "format_validation"]
+
+#: Per-TCP-data-frame framing bytes the trace records beyond the stream.
+FRAME_OVERHEAD = IP_HEADER + TCP_HEADER + ETHERNET_OVERHEAD
+
+
+@dataclass
+class DirectionCheck:
+    """One ordered (src, dst) rank pair's byte and count comparison."""
+
+    src: int
+    dst: int
+    predicted_bytes: int
+    observed_bytes: int
+    predicted_msgs: int
+
+    @property
+    def ok(self) -> bool:
+        return self.predicted_bytes == self.observed_bytes
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one predict-then-simulate comparison."""
+
+    program: str
+    nprocs: int
+    iterations: int
+    seed: int
+    packets: int
+    directions: List[DirectionCheck] = field(default_factory=list)
+    predicted_sent: List[int] = field(default_factory=list)
+    observed_sent: List[int] = field(default_factory=list)
+    predicted_received: List[int] = field(default_factory=list)
+    observed_received: List[int] = field(default_factory=list)
+    #: Wire bytes the commprint intentionally does not predict.
+    overhead: Dict[str, int] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate_program(
+    program: FxProgram,
+    nprocs: int,
+    iterations: int,
+    seed: int = 0,
+    work_model: Optional[WorkModel] = None,
+    graph: Optional[CommGraph] = None,
+) -> ValidationReport:
+    """Simulate ``program`` and hold the commprint to the trace.
+
+    The caller is expected to have checked the schedule first: a
+    deadlocked program would simply run the simulator dry mid-schedule
+    and fail every comparison below.
+    """
+    if graph is None:
+        graph = interpret(program, nprocs, iterations)
+    cluster = FxCluster(n_machines=nprocs + 1, seed=seed)
+    if work_model is None:
+        work_model = WorkModel(rate=1e6, rng=random.Random(seed))
+    runtime = FxRuntime(cluster, nprocs, work_model)
+    trace = runtime.execute(program, iterations)
+
+    report = ValidationReport(
+        program=program.name, nprocs=nprocs, iterations=iterations,
+        seed=seed, packets=len(trace),
+    )
+
+    # Per-direction stream bytes: data frames minus fixed framing.
+    kinds = trace.kinds
+    retx = trace.retransmits
+    sizes = trace.sizes
+    srcs = trace.srcs
+    dsts = trace.dsts
+    data_mask = (kinds == KIND_TCP_DATA) & (retx == 0)
+    data_frames = int(data_mask.sum())
+    observed: Dict[Tuple[int, int], int] = {}
+    for i in np.nonzero(data_mask)[0]:
+        key = (int(srcs[i]), int(dsts[i]))
+        observed[key] = observed.get(key, 0) + int(sizes[i]) - FRAME_OVERHEAD
+
+    predicted: Dict[Tuple[int, int], int] = {}
+    predicted_counts: Dict[Tuple[int, int], int] = {}
+    for m in graph.messages:
+        machine_key = (runtime.machines[m.src], runtime.machines[m.dst])
+        predicted[machine_key] = (
+            predicted.get(machine_key, 0) + m.stream_bytes
+        )
+        predicted_counts[machine_key] = (
+            predicted_counts.get(machine_key, 0) + 1
+        )
+
+    for key in sorted(set(predicted) | set(observed)):
+        check = DirectionCheck(
+            src=key[0], dst=key[1],
+            predicted_bytes=predicted.get(key, 0),
+            observed_bytes=observed.get(key, 0),
+            predicted_msgs=predicted_counts.get(key, 0),
+        )
+        report.directions.append(check)
+        if not check.ok:
+            report.errors.append(
+                f"direction {key[0]}->{key[1]}: predicted "
+                f"{check.predicted_bytes} stream bytes, trace delivered "
+                f"{check.observed_bytes}"
+            )
+
+    # Message counts against the PVM per-task counters.
+    report.predicted_sent = graph.sent_by_rank()
+    report.predicted_received = graph.received_by_rank()
+    report.observed_sent = [t.messages_sent for t in runtime.tasks]
+    report.observed_received = [t.messages_received for t in runtime.tasks]
+    if report.predicted_sent != report.observed_sent:
+        report.errors.append(
+            f"messages sent per rank: predicted {report.predicted_sent}, "
+            f"simulated {report.observed_sent}"
+        )
+    if report.predicted_received != report.observed_received:
+        report.errors.append(
+            f"messages received per rank: predicted "
+            f"{report.predicted_received}, "
+            f"simulated {report.observed_received}"
+        )
+
+    # Overhead the prediction excludes by design, accounted explicitly.
+    ack_mask = kinds == KIND_TCP_ACK
+    udp_mask = kinds == KIND_UDP
+    retx_mask = (kinds == KIND_TCP_DATA) & (retx > 0)
+    report.overhead = {
+        "data_frames": data_frames,
+        "frame_header_bytes": data_frames * FRAME_OVERHEAD,
+        "ack_frames": int(ack_mask.sum()),
+        "ack_bytes": int(sizes[ack_mask].sum()),
+        "udp_frames": int(udp_mask.sum()),
+        "udp_bytes": int(sizes[udp_mask].sum()),
+        "retransmitted_frames": int(retx_mask.sum()),
+    }
+    return report
+
+
+def format_validation(report: ValidationReport) -> str:
+    """Human-readable validation summary for ``repro xray --validate``."""
+    lines = [
+        f"validate {report.program} @ P={report.nprocs}, "
+        f"iterations={report.iterations}, seed={report.seed}: "
+        f"{report.packets} packets simulated",
+    ]
+    total_pred = sum(d.predicted_bytes for d in report.directions)
+    total_obs = sum(d.observed_bytes for d in report.directions)
+    matched = sum(1 for d in report.directions if d.ok)
+    lines.append(
+        f"  stream bytes: {matched}/{len(report.directions)} directions "
+        f"match exactly (predicted {total_pred:,} B, observed "
+        f"{total_obs:,} B)"
+    )
+    lines.append(
+        f"  messages: sent {sum(report.predicted_sent)} predicted / "
+        f"{sum(report.observed_sent)} simulated, received "
+        f"{sum(report.predicted_received)} predicted / "
+        f"{sum(report.observed_received)} simulated"
+    )
+    oh = report.overhead
+    lines.append(
+        f"  excluded overhead: {oh['frame_header_bytes']:,} B framing on "
+        f"{oh['data_frames']} data frames, {oh['ack_bytes']:,} B in "
+        f"{oh['ack_frames']} ACKs, {oh['udp_bytes']:,} B in "
+        f"{oh['udp_frames']} UDP frames, "
+        f"{oh['retransmitted_frames']} retransmissions"
+    )
+    for err in report.errors:
+        lines.append(f"  MISMATCH: {err}")
+    lines.append("PASS" if report.ok else "FAIL")
+    return "\n".join(lines)

@@ -13,6 +13,7 @@ from .qos import (
     NegotiationResult,
     Network,
     TrafficCharacterization,
+    characterize_commprint,
     characterize_program,
     concurrent_connections,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "NegotiationPoint",
     "NegotiationResult",
     "characterize_program",
+    "characterize_commprint",
     "concurrent_connections",
     "series_nrmse",
     "connection_correlation",

@@ -35,6 +35,7 @@ __all__ = [
     "NegotiationResult",
     "Network",
     "characterize_program",
+    "characterize_commprint",
     "concurrent_connections",
 ]
 
@@ -45,9 +46,10 @@ def concurrent_connections(pattern: Pattern, P: int) -> int:
     The synchronous schedules of :mod:`repro.fx.patterns` send one round
     at a time; the largest round bounds the contention the network must
     plan for (all-to-all: P; neighbor: 2(P-1); partition: P/2;
-    broadcast/tree: the widest round).
+    broadcast/tree: the widest round).  At P=1 every schedule is empty,
+    so no connection is ever active.
     """
-    return max(len(r) for r in pattern_rounds(pattern, P))
+    return max((len(r) for r in pattern_rounds(pattern, P)), default=0)
 
 
 def _rounds_per_phase(pattern: Pattern, P: int) -> int:
@@ -59,20 +61,30 @@ class TrafficCharacterization:
     """The paper's ``[l(), b(), c]`` triple.
 
     ``l(P)`` is in seconds of local compute per phase; ``b(P)`` in bytes
-    per connection per phase; ``c`` is the pattern.
+    per connection per phase; ``c`` is the pattern.  ``rounds_fn``
+    overrides the pattern-derived rounds-per-phase — the static
+    commprint supplies measured dependency depths here, so a
+    characterization can be evaluated without consulting the pattern
+    library at all.
     """
 
     name: str
     pattern: Pattern
     local_time: Callable[[int], float]   # l: P -> seconds
     burst_bytes: Callable[[int], float]  # b: P -> bytes
+    rounds_fn: Optional[Callable[[int], int]] = None
+
+    def rounds(self, P: int) -> int:
+        """Synchronous rounds per communication phase."""
+        if self.rounds_fn is not None:
+            return self.rounds_fn(P)
+        return _rounds_per_phase(self.pattern, P)
 
     def burst_interval(self, P: int, burst_bandwidth: float) -> float:
         """t_bi = l(P) + rounds * b(P)/B for the given per-connection B."""
         if burst_bandwidth <= 0:
             return float("inf")
-        rounds = _rounds_per_phase(self.pattern, P)
-        return self.local_time(P) + rounds * self.burst_bytes(P) / burst_bandwidth
+        return self.local_time(P) + self.rounds(P) * self.burst_bytes(P) / burst_bandwidth
 
     def burst_length(self, P: int, burst_bandwidth: float) -> float:
         """t_b = b(P) / B: the time one connection's burst occupies."""
@@ -94,6 +106,67 @@ def characterize_program(
         pattern=program.pattern,
         local_time=lambda P: program.local_work(P) / work_rate,
         burst_bytes=lambda P: float(program.burst_bytes(P)),
+    )
+
+
+def _steady_phase(manifest: dict) -> dict:
+    """The manifest phase that dominates the run: the most-repeated
+    ``body`` phase, else the phase moving the most payload."""
+    phases = manifest.get("phases", [])
+    bodies = [p for p in phases if p["label"] == "body"]
+    if bodies:
+        return max(bodies, key=lambda p: (p["repeat"], p["payload_bytes"]))
+    if phases:
+        return max(phases, key=lambda p: p["payload_bytes"])
+    raise ValueError(
+        f"manifest for {manifest.get('program')!r} has no phases"
+    )
+
+
+def characterize_commprint(
+    name: str,
+    pattern: Pattern,
+    manifest_for: Callable[[int], dict],
+    work_rate: float,
+) -> TrafficCharacterization:
+    """Derive ``[l(), b(), c]`` purely from static commprint manifests.
+
+    ``manifest_for(P)`` supplies the commprint manifest at each
+    candidate P (see :func:`repro.commlint.build_manifest`); nothing is
+    simulated and no hand-written program metadata is consulted.  Per
+    steady-state phase:
+
+    * ``l(P)`` — the slowest rank's work units over ``work_rate``,
+    * ``b(P)`` — payload bytes per active connection per round
+      (``payload / (rounds * concurrent_connections)``),
+    * rounds — the phase's dependency depth, via ``rounds_fn``.
+
+    For the synchronous kernels these reproduce the hand-written
+    :func:`characterize_program` values (SOR's boundary row, SHIFT's
+    block, the FFTs' exchange blocks); for phase-structured programs
+    like SEQ they are the honest per-phase aggregates the hand metadata
+    approximates.
+    """
+    cache: Dict[int, dict] = {}
+
+    def phase(P: int) -> dict:
+        if P not in cache:
+            cache[P] = _steady_phase(manifest_for(P))
+        return cache[P]
+
+    def burst(P: int) -> float:
+        record = phase(P)
+        active = record["rounds"] * record["concurrent_connections"]
+        if not active:
+            return 0.0
+        return record["payload_bytes"] / active
+
+    return TrafficCharacterization(
+        name=name,
+        pattern=pattern,
+        local_time=lambda P: phase(P)["max_rank_work_units"] / work_rate,
+        burst_bytes=burst,
+        rounds_fn=lambda P: phase(P)["rounds"],
     )
 
 
@@ -198,7 +271,7 @@ class Network:
                 raise ValueError(f"candidate P must be >= 2, got {P}")
             B = self.burst_bandwidth_for(characterization.pattern, P)
             t_bi = characterization.burst_interval(P, B)
-            rounds = _rounds_per_phase(characterization.pattern, P)
+            rounds = characterization.rounds(P)
             n_active = concurrent_connections(characterization.pattern, P)
             # Long-run load: every active connection moves b(P) bytes per
             # round, `rounds` rounds per burst interval.

@@ -54,12 +54,19 @@ class Pattern(str, enum.Enum):
 # ---------------------------------------------------------------------------
 
 def _check_p(P: int) -> None:
-    if P < 2:
-        raise ValueError(f"patterns need at least 2 ranks, got {P}")
+    if isinstance(P, bool) or not isinstance(P, (int, np.integer)):
+        raise TypeError(f"P must be an integer, got {type(P).__name__}")
+    if P < 1:
+        raise ValueError(f"patterns need at least 1 rank, got {P}")
 
 
 def pattern_pairs(pattern: Pattern, P: int) -> Set[Tuple[int, int]]:
-    """All simplex (src, dst) rank pairs the pattern ever uses."""
+    """All simplex (src, dst) rank pairs the pattern ever uses.
+
+    At P=1 every pattern degenerates to the empty schedule — a single
+    rank has nobody to talk to — matching the executable collectives,
+    which all no-op at P=1.
+    """
     _check_p(P)
     pairs: Set[Tuple[int, int]] = set()
     if pattern is Pattern.NEIGHBOR:
@@ -90,7 +97,13 @@ def pattern_pairs(pattern: Pattern, P: int) -> Set[Tuple[int, int]]:
 
 
 def pattern_rounds(pattern: Pattern, P: int) -> List[List[Tuple[int, int]]]:
-    """Per-round (src, dst) pairs, in the synchronous execution order."""
+    """Per-round (src, dst) pairs, in the synchronous execution order.
+
+    Invariants (property-tested for every pattern at P in 1..16): the
+    rounds partition :func:`pattern_pairs` — their union is exactly the
+    pair set, their sizes sum to :func:`connection_count` — and no
+    round is empty.
+    """
     _check_p(P)
     rounds: List[List[Tuple[int, int]]] = []
     if pattern is Pattern.NEIGHBOR:
@@ -117,7 +130,9 @@ def pattern_rounds(pattern: Pattern, P: int) -> List[List[Tuple[int, int]]]:
         rounds.append([(0, d) for d in range(1, P)])
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown pattern {pattern!r}")
-    return rounds
+    # Degenerate sizes (P=1, empty halves) produce rounds with no pairs;
+    # an empty round is not a synchronization step, so drop it.
+    return [r for r in rounds if r]
 
 
 def connection_count(pattern: Pattern, P: int) -> int:
@@ -166,25 +181,40 @@ def all_to_all(ctx, nbytes: int, tag: int = 0):
 
 
 def partition_send(ctx, nbytes: int, tag: int = 0, fragments: int = 1):
-    """Sender half of the partition pattern (T2DFFT's senders)."""
+    """Sender half of the partition pattern (T2DFFT's senders).
+
+    The shift runs over the *receiver* count (one larger than the
+    sender count when P is odd) so every receiver is reached — the
+    schedule :func:`pattern_rounds` declares.  For even P this is the
+    classic within-partition shift.
+    """
     rank, P = ctx.rank, ctx.nprocs
     half = P // 2
     if rank >= half:
         raise ValueError(f"rank {rank} is not in the sending half")
-    for k in range(half):
-        dst = half + (rank + k) % half
+    n_recv = P - half
+    for k in range(n_recv):
+        dst = half + (rank + k) % n_recv
         yield from ctx.send(dst, nbytes, tag=tag, fragments=fragments)
 
 
 def partition_recv(ctx, tag: int = 0):
-    """Receiver half of the partition pattern; yields each message."""
+    """Receiver half of the partition pattern; yields each message.
+
+    Mirrors :func:`partition_send`'s shift: at round k, receiver d is
+    fed by sender ``(d - half - k) mod n_recv`` — when that index
+    lands outside the sender half (odd P), nobody targets d this round
+    and the receiver simply skips it.
+    """
     rank, P = ctx.rank, ctx.nprocs
     half = P // 2
     if rank < half:
         raise ValueError(f"rank {rank} is not in the receiving half")
-    for k in range(half):
-        src = (rank - half - k) % half
-        yield ctx.recv(src, tag=tag)
+    n_recv = P - half
+    for k in range(n_recv):
+        src = (rank - half - k) % n_recv
+        if src < half:
+            yield ctx.recv(src, tag=tag)
 
 
 def broadcast(ctx, root: int, nbytes: int, tag: int = 0):

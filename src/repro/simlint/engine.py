@@ -116,15 +116,26 @@ def _line_ignores(source: str) -> Dict[int, Set[str]]:
     return ignores
 
 
-def _validate_rules(rule_ids: Optional[Iterable[str]]) -> Optional[Set[str]]:
+def _known_rules(comm: bool = False) -> Set[str]:
+    known = set(RULES)
+    if comm:
+        from ..commlint.checks import COMM_RULES
+
+        known |= set(COMM_RULES)
+    return known
+
+
+def _validate_rules(rule_ids: Optional[Iterable[str]],
+                    comm: bool = False) -> Optional[Set[str]]:
     if rule_ids is None:
         return None
     chosen = {r.strip().upper() for r in rule_ids if r.strip()}
-    unknown = chosen - set(RULES)
+    known = _known_rules(comm)
+    unknown = chosen - known
     if unknown:
         raise ValueError(
             f"unknown rule id(s): {', '.join(sorted(unknown))}; "
-            f"known: {', '.join(sorted(RULES))}"
+            f"known: {', '.join(sorted(known))}"
         )
     return chosen
 
@@ -134,10 +145,16 @@ def lint_source(
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    comm: bool = False,
 ) -> FileReport:
-    """Lint one module given as source text (the unit-test entry point)."""
-    selected = _validate_rules(select)
-    ignored = _validate_rules(ignore) or set()
+    """Lint one module given as source text (the unit-test entry point).
+
+    ``comm=True`` adds the commlint AST rules (``COMM0xx``) of
+    :mod:`repro.commlint.astrules` to the pass; they flow through the
+    same suppression, fingerprinting, and baseline machinery.
+    """
+    selected = _validate_rules(select, comm)
+    ignored = _validate_rules(ignore, comm) or set()
     report = FileReport(path=path)
     try:
         tree = ast.parse(source, filename=path)
@@ -147,7 +164,15 @@ def lint_source(
     lines = source.splitlines()
     line_ignores = _line_ignores(source)
     report.ignore_comments = len(line_ignores)
-    for finding in analyze(tree, path):
+    all_findings = analyze(tree, path)
+    if comm:
+        from ..commlint.astrules import analyze_comm
+
+        all_findings = sorted(
+            all_findings + analyze_comm(tree, path),
+            key=lambda f: (f.line, f.col, f.rule),
+        )
+    for finding in all_findings:
         if selected is not None and finding.rule not in selected:
             continue
         if finding.rule in ignored:
@@ -189,6 +214,7 @@ def lint_paths(
     paths: Iterable[str],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    comm: bool = False,
 ) -> LintResult:
     """Lint every ``*.py`` under ``paths`` (files or directories)."""
     result = LintResult()
@@ -202,7 +228,8 @@ def lint_paths(
             )
             continue
         result.reports.append(
-            lint_source(source, path=display, select=select, ignore=ignore)
+            lint_source(source, path=display, select=select, ignore=ignore,
+                        comm=comm)
         )
     return result
 

@@ -11,6 +11,17 @@ from .rules import RULES, Finding
 __all__ = ["format_text", "format_json", "format_stats"]
 
 
+def _legend(rule: str) -> str:
+    """One-line summary for a rule ID, SIM or COMM alike."""
+    if rule in RULES:
+        return RULES[rule]
+    if rule.startswith("COMM"):
+        from ..commlint.checks import COMM_RULES
+
+        return COMM_RULES.get(rule, "")
+    return ""
+
+
 def format_text(result: LintResult,
                 findings: Optional[List[Finding]] = None) -> str:
     """Human-readable report; ``findings`` overrides the result's own
@@ -40,7 +51,7 @@ def format_json(result: LintResult,
         "findings": [
             {
                 "rule": f.rule,
-                "summary": RULES.get(f.rule, ""),
+                "summary": _legend(f.rule),
                 "path": f.path,
                 "line": f.line,
                 "col": f.col,
@@ -73,10 +84,13 @@ def format_stats(result: LintResult) -> str:
     counts = result.counts_by_rule()
     suppressed_counts = {rule: 0 for rule in RULES}
     for finding in result.suppressed:
-        suppressed_counts[finding.rule] += 1
-    for rule in sorted(RULES):
+        suppressed_counts[finding.rule] = (
+            suppressed_counts.get(finding.rule, 0) + 1
+        )
+    extra = sorted(set(counts) - set(RULES))
+    for rule in sorted(RULES) + extra:
         lines.append(
             f"    {rule}  {counts.get(rule, 0):>3} open, "
-            f"{suppressed_counts.get(rule, 0):>3} suppressed  — {RULES[rule]}"
+            f"{suppressed_counts.get(rule, 0):>3} suppressed  — {_legend(rule)}"
         )
     return "\n".join(lines)

@@ -1,0 +1,478 @@
+"""Tests for repro.commlint: the abstract interpreter, schedule checker,
+commprint manifests, static QoS feed, and predict-then-simulate
+validation."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.commlint import (
+    COMM_RULES,
+    XrayError,
+    build_manifest,
+    check_graph,
+    interpret,
+    manifest_json,
+    resolve_program,
+    static_characterization,
+    validate_program,
+    xray,
+)
+from repro.core import characterize_program
+from repro.core.qos import characterize_commprint, concurrent_connections
+from repro.fx import FxProgram, Pattern
+from repro.programs import ITERATIONS, make_program, work_model_for
+from repro.simlint import format_json, lint_source
+from repro.simlint.engine import apply_baseline, load_baseline, write_baseline
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+BROKEN = EXAMPLES / "broken_programs.py"
+
+#: name -> smoke iteration count, the replication scale
+SMOKE = {name: scales["smoke"] for name, scales in ITERATIONS.items()}
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# synthetic programs for targeted checker tests
+# ---------------------------------------------------------------------------
+
+class RingPipeline(FxProgram):
+    """The correct send-first ring (custom_kernel's shape)."""
+
+    name = "ring"
+    pattern = Pattern.NEIGHBOR
+
+    def rank_body(self, ctx):
+        right = (ctx.rank + 1) % ctx.nprocs
+        left = (ctx.rank - 1) % ctx.nprocs
+        yield ctx.compute(100.0)
+        yield from ctx.send(right, 4096, tag=0)
+        yield ctx.recv(left, tag=0)
+
+
+class SelfSender(FxProgram):
+    name = "selfsend"
+    pattern = Pattern.NEIGHBOR
+
+    def rank_body(self, ctx):
+        yield from ctx.send(ctx.rank, 64, tag=0)
+        yield ctx.recv(ctx.rank, tag=0)
+
+
+class OutOfRange(FxProgram):
+    name = "oob"
+    pattern = Pattern.NEIGHBOR
+
+    def rank_body(self, ctx):
+        yield from ctx.send(ctx.nprocs, 64, tag=0)  # no such rank
+
+
+class WildcardRace(FxProgram):
+    """Two senders race into one wildcard receive."""
+
+    name = "race"
+    pattern = Pattern.TREE
+
+    def rank_body(self, ctx):
+        if ctx.rank == 0:
+            yield ctx.recv()          # src=None: either sender matches
+            yield ctx.recv()
+        else:
+            yield from ctx.send(0, 128, tag=0)
+
+
+class LopsidedBarrier(FxProgram):
+    """Rank 0 skips the barrier the others sit in."""
+
+    name = "lopsided"
+    pattern = Pattern.NEIGHBOR
+
+    def rank_body(self, ctx):
+        if ctx.rank != 0:
+            yield ctx.barrier()
+
+
+class OrphanSend(FxProgram):
+    """Rank 0 sends to 1; nobody receives, everyone terminates."""
+
+    name = "orphan"
+    pattern = Pattern.NEIGHBOR
+
+    def rank_body(self, ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 256, tag=7)
+        yield ctx.compute(10.0)
+
+
+class BarrierPhases(FxProgram):
+    """A compute/barrier loop: all ranks agree, schedule is clean."""
+
+    name = "phases"
+    pattern = Pattern.NEIGHBOR
+
+    def rank_body(self, ctx):
+        yield ctx.compute(50.0)
+        yield ctx.barrier()
+
+
+# ---------------------------------------------------------------------------
+# the abstract interpreter
+# ---------------------------------------------------------------------------
+
+class TestInterpreter:
+    def test_ring_message_accounting(self):
+        g = interpret(RingPipeline(), 4, iterations=3)
+        assert g.clean
+        assert not g.deadlocked
+        assert len(g.messages) == 4 * 3
+        assert all(m.delivered for m in g.messages)
+        assert g.sent_by_rank() == [3, 3, 3, 3]
+        assert g.received_by_rank() == [3, 3, 3, 3]
+        assert g.work_by_rank() == [300.0] * 4
+
+    def test_pairs_match_static_schedule(self):
+        # shift is excluded: its ring wraps around, which the declared
+        # NEIGHBOR pattern (a line) only approximates
+        for name in ("sor", "2dfft", "hist", "airshed"):
+            program = make_program(name)
+            g = interpret(program, 4, iterations=1)
+            observed = set(g.pair_counts())
+            from repro.fx import pattern_pairs
+
+            assert observed <= pattern_pairs(program.pattern, 4), name
+
+    def test_dependency_rounds_tree(self):
+        # tree_reduce at P=8: up-sweep depth 3 (rounds 1..3)
+        g = interpret(make_program("hist"), 8, iterations=1)
+        body = [m for m in g.messages if m.segment == "body"]
+        up = [m for m in body if m.dst < m.src]
+        assert max(m.round for m in up) == 3
+
+    def test_all_to_all_rounds(self):
+        g = interpret(make_program("2dfft"), 4, iterations=1)
+        body = [m for m in g.messages if m.segment == "body"]
+        assert max(m.round for m in body) == 3  # P-1 dependency rounds
+
+    def test_single_rank_runs_clean(self):
+        g = interpret(RingPipeline(), 1, iterations=2)
+        # at P=1 the ring sends to itself; flagged, not crashed
+        assert any(v.code == "COMM004" for v in g.violations)
+
+    def test_iterations_scale_counts(self):
+        g1 = interpret(RingPipeline(), 4, iterations=1)
+        g5 = interpret(RingPipeline(), 4, iterations=5)
+        assert len(g5.messages) == 5 * len(g1.messages)
+
+    def test_deterministic_across_runs(self):
+        a = interpret(make_program("2dfft"), 4, iterations=2)
+        b = interpret(make_program("2dfft"), 4, iterations=2)
+        assert [(m.src, m.dst, m.tag, m.nbytes, m.round) for m in a.messages] \
+            == [(m.src, m.dst, m.tag, m.nbytes, m.round) for m in b.messages]
+
+    def test_non_generator_body_raises(self):
+        class Broken(FxProgram):
+            name = "notagen"
+
+            def rank_body(self, ctx):
+                return 42
+
+        with pytest.raises(XrayError):
+            interpret(Broken(), 2)
+
+
+# ---------------------------------------------------------------------------
+# the schedule checker
+# ---------------------------------------------------------------------------
+
+class TestChecker:
+    def test_real_programs_are_clean(self):
+        for name in ("sor", "shift", "2dfft", "t2dfft", "seq", "hist",
+                     "airshed"):
+            result = xray(make_program(name), 4, SMOKE[name])
+            assert result.clean, (name, [str(f) for f in result.findings])
+
+    def test_real_programs_clean_at_odd_p(self):
+        for name in ("sor", "shift", "hist", "t2dfft"):
+            result = xray(make_program(name), 5, 1)
+            assert result.clean, (name, [str(f) for f in result.findings])
+
+    def test_deadlock_ring_fixture(self):
+        program = resolve_program(f"{BROKEN}:DeadlockRing")
+        result = xray(program, 4)
+        assert rules_of(result.findings) == {"COMM001"}
+        message = result.findings[0].message
+        assert "cyclic" in message
+        assert "rank 0" in message
+
+    def test_tag_mismatch_fixture(self):
+        program = resolve_program(f"{BROKEN}:TagMismatch")
+        result = xray(program, 4)
+        assert {"COMM002", "COMM003"} <= rules_of(result.findings)
+
+    def test_self_send_flagged(self):
+        findings = check_graph(interpret(SelfSender(), 2))
+        assert "COMM004" in rules_of(findings)
+
+    def test_out_of_range_flagged(self):
+        findings = check_graph(interpret(OutOfRange(), 2))
+        assert "COMM005" in rules_of(findings)
+
+    def test_wildcard_race_flagged(self):
+        findings = check_graph(interpret(WildcardRace(), 3))
+        assert "COMM008" in rules_of(findings)
+
+    def test_divergent_barrier_flagged(self):
+        findings = check_graph(interpret(LopsidedBarrier(), 3))
+        assert "COMM006" in rules_of(findings)
+
+    def test_orphan_send_flagged(self):
+        findings = check_graph(interpret(OrphanSend(), 3))
+        assert rules_of(findings) == {"COMM002"}
+
+    def test_clean_barrier_program(self):
+        findings = check_graph(interpret(BarrierPhases(), 4, iterations=3))
+        assert findings == []
+
+    def test_rule_table_complete(self):
+        assert set(COMM_RULES) == {f"COMM00{i}" for i in range(1, 9)}
+
+
+# ---------------------------------------------------------------------------
+# commprint manifests
+# ---------------------------------------------------------------------------
+
+class TestManifest:
+    def test_byte_identical_across_runs(self):
+        for name in ("sor", "shift", "hist"):
+            a = xray(make_program(name), 4, SMOKE[name])
+            b = xray(make_program(name), 4, SMOKE[name])
+            assert manifest_json(a.manifest) == manifest_json(b.manifest)
+
+    def test_schema_and_totals(self):
+        result = xray(make_program("sor"), 4, 30)
+        m = result.manifest
+        assert m["schema"] == 1
+        assert m["program"] == "sor"
+        assert m["nprocs"] == 4
+        assert m["pattern"] == "neighbor"
+        edge_payload = sum(c["payload_bytes"] for c in m["per_connection"])
+        assert m["totals"]["payload_bytes"] == edge_payload
+        assert m["totals"]["stream_bytes"] == (
+            edge_payload + 24 * m["totals"]["messages"]
+        )
+
+    def test_phase_collapse(self):
+        # 30 identical body iterations collapse to one repeated phase
+        m = xray(make_program("sor"), 4, 30).manifest
+        body = [p for p in m["phases"] if p["label"] == "body"]
+        assert len(body) == 1
+        assert body[0]["repeat"] == 30
+
+    def test_manifest_has_no_volatile_fields(self):
+        text = manifest_json(xray(make_program("shift"), 4, 2).manifest)
+        doc = json.loads(text)
+        flat = json.dumps(doc)
+        assert "time" not in flat
+        assert "/" not in flat.replace("\\/", "")  # no filesystem paths
+
+    def test_per_rank_table(self):
+        m = xray(make_program("2dfft"), 4, 1).manifest
+        for row in m["per_rank"]:
+            assert row["sent"] == 3  # all-to-all: P-1 each
+            assert row["received"] == 3
+
+
+# ---------------------------------------------------------------------------
+# simlint integration: JSON, baselines, AST rules
+# ---------------------------------------------------------------------------
+
+class TestLintIntegration:
+    def test_findings_round_trip_json(self):
+        result = xray(resolve_program(f"{BROKEN}:TagMismatch"), 4)
+        doc = json.loads(format_json(result.lint_result()))
+        rules = {f["rule"] for f in doc["findings"]}
+        assert {"COMM002", "COMM003"} <= rules
+        for f in doc["findings"]:
+            assert f["summary"] == COMM_RULES[f["rule"]]
+            assert f["fingerprint"]
+
+    def test_findings_round_trip_baseline(self, tmp_path):
+        result = xray(resolve_program(f"{BROKEN}:DeadlockRing"), 4)
+        lint = result.lint_result()
+        baseline = tmp_path / "comm-baseline.json"
+        n = write_baseline(baseline, lint)
+        assert n == len(result.findings) > 0
+        accepted = load_baseline(baseline)
+        new, baselined = apply_baseline(lint, accepted)
+        assert new == []
+        assert baselined == n
+
+    def test_comm007_tainted_branch(self):
+        source = (
+            "class P:\n"
+            "    def rank_body(self, ctx):\n"
+            "        t = yield ctx.recv(0)\n"
+            "        if t > 5:\n"
+            "            yield from ctx.send(1, 64)\n"
+        )
+        report = lint_source(source, path="p.py", comm=True)
+        assert "COMM007" in {f.rule for f in report.findings}
+
+    def test_comm007_sim_time_branch(self):
+        source = (
+            "class P:\n"
+            "    def rank_body(self, ctx):\n"
+            "        while ctx.sim.now < 10:\n"
+            "            yield ctx.compute(1.0)\n"
+        )
+        report = lint_source(source, path="p.py", comm=True)
+        assert "COMM007" in {f.rule for f in report.findings}
+
+    def test_comm007_rank_branch_is_fine(self):
+        source = (
+            "class P:\n"
+            "    def rank_body(self, ctx):\n"
+            "        if ctx.rank == 0:\n"
+            "            yield from ctx.send(1, 64)\n"
+            "        else:\n"
+            "            yield ctx.recv(0)\n"
+        )
+        report = lint_source(source, path="p.py", comm=True)
+        assert report.findings == []
+
+    def test_comm_rules_off_by_default(self):
+        source = (
+            "class P:\n"
+            "    def rank_body(self, ctx):\n"
+            "        t = yield ctx.recv(0)\n"
+            "        if t > 5:\n"
+            "            yield ctx.compute(1.0)\n"
+        )
+        report = lint_source(source, path="p.py")
+        assert "COMM007" not in {f.rule for f in report.findings}
+
+    def test_real_program_sources_pass_comm_rules(self):
+        src = Path(__file__).resolve().parent.parent / "src/repro/programs"
+        for path in sorted(src.glob("*.py")):
+            report = lint_source(path.read_text(), path=str(path), comm=True)
+            comm = [f for f in report.findings if f.rule.startswith("COMM")]
+            assert comm == [], (path.name, [str(f) for f in comm])
+
+
+# ---------------------------------------------------------------------------
+# predict-then-simulate validation
+# ---------------------------------------------------------------------------
+
+class TestValidation:
+    @pytest.mark.parametrize("name", sorted(SMOKE))
+    def test_commprint_matches_trace_exactly(self, name):
+        program = make_program(name)
+        report = validate_program(
+            program, 4, SMOKE[name], seed=0,
+            work_model=work_model_for(name, seed=0),
+        )
+        assert report.ok, [e for e in report.errors]
+        assert report.predicted_sent == report.observed_sent
+        assert report.predicted_received == report.observed_received
+        for check in report.directions:
+            assert check.predicted_bytes == check.observed_bytes
+
+    def test_validation_at_odd_p(self):
+        report = validate_program(
+            make_program("t2dfft"), 5, 1, seed=0,
+            work_model=work_model_for("t2dfft", seed=0),
+        )
+        assert report.ok, report.errors
+
+    def test_overhead_is_separate(self):
+        report = validate_program(
+            make_program("sor"), 4, 5, seed=0,
+            work_model=work_model_for("sor", seed=0),
+        )
+        assert report.overhead["frame_header_bytes"] > 0
+        assert report.overhead["ack_bytes"] > 0
+        # overhead never leaks into the stream-byte comparison
+        total_predicted = sum(c.predicted_bytes for c in report.directions)
+        total_observed = sum(c.observed_bytes for c in report.directions)
+        assert total_predicted == total_observed
+
+
+# ---------------------------------------------------------------------------
+# the static QoS feed
+# ---------------------------------------------------------------------------
+
+class TestStaticQoS:
+    def test_concurrent_connections_degenerate(self):
+        for pattern in Pattern:
+            assert concurrent_connections(pattern, 1) == 0
+
+    def test_static_matches_hand_metadata_sor_shift(self):
+        rate = 1e6
+        for name in ("sor", "shift"):
+            program = make_program(name)
+            hand = characterize_program(program, rate)
+            static = static_characterization(program, rate)
+            for P in (2, 4, 8):
+                assert static.local_time(P) == pytest.approx(
+                    hand.local_time(P)), (name, P)
+                assert static.burst_bytes(P) == pytest.approx(
+                    hand.burst_bytes(P)), (name, P)
+
+    def test_static_burst_matches_hand_2dfft(self):
+        program = make_program("2dfft")
+        hand = characterize_program(program, 1e6)
+        static = static_characterization(program, 1e6)
+        for P in (2, 4, 8):
+            assert static.burst_bytes(P) == pytest.approx(
+                hand.burst_bytes(P))
+            assert static.rounds(P) == P - 1
+
+    def test_rounds_fn_overrides_pattern_default(self):
+        program = make_program("hist")
+        static = static_characterization(program, 1e6)
+        # tree at P=8: 3 up-sweep rounds + 1 broadcast round
+        assert static.rounds(8) == 4
+
+    def test_characterize_commprint_caches_manifests(self):
+        calls = []
+
+        def manifest_for(P):
+            calls.append(P)
+            return xray(make_program("sor"), P, 1).manifest
+
+        ch = characterize_commprint("sor", Pattern.NEIGHBOR, manifest_for,
+                                    1e6)
+        ch.local_time(4)
+        ch.burst_bytes(4)
+        ch.rounds(4)
+        assert calls == [4]
+
+
+# ---------------------------------------------------------------------------
+# program resolution
+# ---------------------------------------------------------------------------
+
+class TestResolve:
+    def test_registry_name(self):
+        assert resolve_program("sor").name == "sor"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown program"):
+            resolve_program("nosuch")
+
+    def test_path_spec(self):
+        program = resolve_program(f"{BROKEN}:DeadlockRing")
+        assert program.name == "deadlock-ring"
+
+    def test_path_spec_missing_attr(self):
+        with pytest.raises(ValueError, match="defines no"):
+            resolve_program(f"{BROKEN}:NoSuchClass")
+
+    def test_path_spec_not_a_program(self):
+        with pytest.raises(ValueError):
+            resolve_program(f"{BROKEN}:main")

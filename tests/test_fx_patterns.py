@@ -52,9 +52,21 @@ class TestPatternPairs:
             for s, d in pattern_pairs(Pattern.PARTITION, P):
                 assert s < half <= d
 
-    def test_too_few_ranks_rejected(self):
+    def test_single_rank_degenerates_to_empty_schedule(self):
+        for pattern in ALL_PATTERNS:
+            assert pattern_pairs(pattern, 1) == set()
+            assert pattern_rounds(pattern, 1) == []
+            assert connection_count(pattern, 1) == 0
+
+    def test_invalid_rank_counts_rejected(self):
         with pytest.raises(ValueError):
-            pattern_pairs(Pattern.NEIGHBOR, 1)
+            pattern_pairs(Pattern.NEIGHBOR, 0)
+        with pytest.raises(ValueError):
+            pattern_rounds(Pattern.ALL_TO_ALL, -3)
+        with pytest.raises(TypeError):
+            pattern_pairs(Pattern.NEIGHBOR, 4.0)
+        with pytest.raises(TypeError):
+            pattern_rounds(Pattern.TREE, True)
 
 
 class TestPatternRounds:
@@ -116,3 +128,47 @@ class TestConnectivityMatrix:
         m = connectivity_matrix(Pattern.ALL_TO_ALL, 4)
         assert m.sum() == 12
         assert np.all(m + np.eye(4, dtype=np.int8) == 1)
+
+
+class TestScheduleProperties:
+    """Invariants at every P in 1..16 — including odd and non-power-of-2.
+
+    These are the contracts the static analyzer (repro.commlint) and
+    the QoS model build on: the rounds partition the pair set, sizes
+    sum to connection_count, no round is empty, nobody self-sends, and
+    all ranks are in range.
+    """
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    @pytest.mark.parametrize("P", range(1, 17))
+    def test_rounds_partition_pairs(self, pattern, P):
+        pairs = pattern_pairs(pattern, P)
+        rounds = pattern_rounds(pattern, P)
+        seen = []
+        for rnd in rounds:
+            assert rnd, "empty rounds must be dropped"
+            seen.extend(rnd)
+        assert set(seen) == pairs
+        assert len(seen) == len(set(seen)), "pair repeated across rounds"
+        assert len(seen) == connection_count(pattern, P)
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    @pytest.mark.parametrize("P", range(1, 17))
+    def test_pairs_are_valid_ranks(self, pattern, P):
+        for s, d in pattern_pairs(pattern, P):
+            assert 0 <= s < P
+            assert 0 <= d < P
+            assert s != d
+
+    @pytest.mark.parametrize("P", range(2, 17))
+    def test_partition_reaches_every_receiver(self, P):
+        # the odd-P regression: rank P-1 must be targeted
+        half = P // 2
+        dsts = {d for _, d in pattern_pairs(Pattern.PARTITION, P)}
+        assert dsts == set(range(half, P))
+
+    @pytest.mark.parametrize("P", range(2, 17))
+    def test_partition_rounds_never_repeat_a_receiver(self, P):
+        for rnd in pattern_rounds(Pattern.PARTITION, P):
+            dsts = [d for _, d in rnd]
+            assert len(dsts) == len(set(dsts))

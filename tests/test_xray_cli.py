@@ -1,0 +1,93 @@
+"""Tests for ``python -m repro xray`` and ``repro lint --comm``."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+
+BROKEN = str(Path(__file__).resolve().parent.parent
+             / "examples" / "broken_programs.py")
+
+
+def test_xray_clean_program(capsys):
+    assert main(["xray", "sor", "--nprocs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "commprint sor @ P=4" in out
+    assert "schedule: clean" in out
+
+
+def test_xray_validate_passes(capsys):
+    assert main(["xray", "sor", "--nprocs", "4", "--scale", "smoke",
+                 "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "directions match exactly" in out
+
+
+def test_xray_deadlock_fixture_fails(capsys):
+    code = main(["xray", f"{BROKEN}:DeadlockRing", "--nprocs", "4"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "COMM001" in out
+
+
+def test_xray_validate_skipped_on_findings(capsys):
+    code = main(["xray", f"{BROKEN}:TagMismatch", "--nprocs", "4",
+                 "--validate"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "COMM003" in captured.out
+    assert "skipped" in captured.err
+
+
+def test_xray_unknown_program(capsys):
+    assert main(["xray", "nosuch"]) == 2
+    assert "unknown program" in capsys.readouterr().err
+
+
+def test_xray_json_format(capsys):
+    assert main(["xray", "shift", "--nprocs", "4", "--iterations", "2",
+                 "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["manifest"]["program"] == "shift"
+    assert doc["manifest"]["schema"] == 1
+    assert doc["lint"]["findings"] == []
+
+
+def test_xray_manifest_out_deterministic(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["xray", "hist", "--nprocs", "4", "--scale", "smoke",
+                 "--out", str(a)]) == 0
+    assert main(["xray", "hist", "--nprocs", "4", "--scale", "smoke",
+                 "--out", str(b)]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+    doc = json.loads(a.read_text())
+    assert doc["program"] == "hist"
+
+
+def test_xray_iterations_override(capsys):
+    assert main(["xray", "sor", "--nprocs", "2", "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "iterations=3" in out
+
+
+def test_lint_comm_flag(capsys):
+    assert main(["lint", "--comm", "src/repro/programs"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_lint_comm_rule_selectable(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "class P:\n"
+        "    def rank_body(self, ctx):\n"
+        "        t = yield ctx.recv(0)\n"
+        "        if t > 5:\n"
+        "            yield ctx.compute(1.0)\n"
+    )
+    assert main(["lint", "--comm", "--select", "COMM007", str(bad)]) == 1
+    assert "COMM007" in capsys.readouterr().out
+    # without --comm, COMM007 is not a known rule
+    assert main(["lint", "--select", "COMM007", str(bad)]) == 2
