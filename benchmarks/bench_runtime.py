@@ -160,6 +160,70 @@ def disabled_overhead_estimate(name: str = "sor", scale: str = SCALE,
     }
 
 
+def qmon_hook_crossings(monitor) -> int:
+    """Disabled-mode ``monitor is None`` checks one switched run performs.
+
+    Each frame that transits an output port crosses three hook sites
+    (enqueue, service start, delivery); every drop crosses the
+    ``record_drop`` site once.  Token-wait crossings only occur for
+    reserved flows, which the measured programs do not carry, so they
+    are not counted here.
+    """
+    totals = 3 * sum(port.frames_enqueued
+                     for port in monitor.ports.values())
+    drops = sum(len(port.drops) for port in monitor.ports.values())
+    return totals + drops + len(monitor.unrouted_drops)
+
+
+def qmon_per_check_seconds(samples: int = 200_000) -> float:
+    """Measured cost of one disabled queue-monitor check."""
+    from repro.des import Simulator
+    from repro.net.switched import SwitchedFabric
+
+    fabric = SwitchedFabric(Simulator())
+    assert fabric.monitor is None
+    return timeit.timeit(
+        "fabric.monitor is not None", globals={"fabric": fabric},
+        number=samples,
+    ) / samples
+
+
+def qmon_overhead_estimate(name: str = "2dfft", scale: str = SCALE,
+                           seed: int = SEED) -> dict:
+    """Estimated monitor-disabled overhead for one switched-route run.
+
+    Same contract as the telemetry estimate: hook crossings (counted by
+    a monitored run) x the measured cost of one ``is None`` check, as a
+    share of the unmonitored run's wall clock.
+    """
+    from repro.programs import run_measured
+
+    clock = _wall_clock()
+    walls = []
+    for _ in range(REPS):
+        t0 = clock()
+        run_measured(name, scale=scale, seed=seed, route="switched")
+        walls.append(clock() - t0)
+    wall = min(walls)
+
+    detail: dict = {}
+    run_measured(name, scale=scale, seed=seed, route="switched",
+                 qmon=True, detail=detail)
+    hooks = qmon_hook_crossings(detail["qmon"])
+    check = qmon_per_check_seconds()
+    overhead = hooks * check
+    share = overhead / wall if wall else 0.0
+    return {
+        "program": name,
+        "route": "switched",
+        "hooks_crossed": hooks,
+        "per_check_seconds": check,
+        "overhead_seconds": round(overhead, 9),
+        "wall_seconds": round(wall, 6),
+        "overhead_share": round(share, 6),
+    }
+
+
 # -- pytest entry points ----------------------------------------------
 
 
@@ -178,6 +242,13 @@ def test_disabled_overhead_within_two_percent():
     assert estimate["overhead_share"] <= 0.02, estimate
 
 
+def test_qmon_disabled_overhead_within_two_percent():
+    """The switch-queue monitor acceptance contract: with no monitor
+    attached, the hook checks cost <= 2% of the switched 2DFFT run."""
+    estimate = qmon_overhead_estimate("2dfft")
+    assert estimate["overhead_share"] <= 0.02, estimate
+
+
 def test_bench_result_file_is_current_schema():
     doc = json.loads(RESULT_PATH.read_text())
     assert doc["schema"] == BENCH_SCHEMA_VERSION
@@ -187,6 +258,8 @@ def test_bench_result_file_is_current_schema():
     for row in doc["results"]:
         assert row["events_per_second"] > 0
     assert doc["overhead"]["overhead_share"] <= 0.02
+    assert doc["qmon_overhead"]["route"] == "switched"
+    assert doc["qmon_overhead"]["overhead_share"] <= 0.02
 
 
 # -- script entry point -----------------------------------------------
@@ -206,6 +279,11 @@ def main() -> int:
           f"{overhead['overhead_share']:.4%} "
           f"({overhead['hooks_crossed']} hooks x "
           f"{overhead['per_check_seconds'] * 1e9:.1f} ns)")
+    qmon_overhead = qmon_overhead_estimate("2dfft")
+    print(f"qmon disabled-mode overhead (2dfft, switched): "
+          f"{qmon_overhead['overhead_share']:.4%} "
+          f"({qmon_overhead['hooks_crossed']} hooks x "
+          f"{qmon_overhead['per_check_seconds'] * 1e9:.1f} ns)")
     doc = {
         "schema": BENCH_SCHEMA_VERSION,
         "scale": SCALE,
@@ -214,6 +292,7 @@ def main() -> int:
         "meta": runtime_meta(),
         "results": results,
         "overhead": overhead,
+        "qmon_overhead": qmon_overhead,
     }
     RESULT_PATH.write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[wrote {RESULT_PATH}]")

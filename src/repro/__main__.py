@@ -8,10 +8,15 @@ Usage::
     python -m repro all [--scale ...] [--seed N] [--export DIR]
     python -m repro trace 2dfft --out trace.npz [--scale ...] [--text]
                                 [--faults "loss=0.01,seed=1"] [--sanitize]
+                                [--route direct|default|switched]
+    python -m repro qmon 2dfft [--route switched] [--scale ...] [--seed N]
+                               [--window W] [--burst-depth N]
+                               [--burst-duration S] [--top-k K]
+                               [--out qmon.json] [--emit-chrome FILE]
     python -m repro cache stats|clear|warm [--jobs N] [--dir DIR]
     python -m repro cache scrub [--repair] [--dir DIR]
     python -m repro sweep 'program=* scale=smoke seed=0..3' --jobs 4
-                          [--manifest FILE] [--cache-dir DIR]
+                          [--manifest FILE] [--cache-dir DIR] [--qmon-dir DIR]
                           [--chaos 'kill-worker=P,hang=P,corrupt-cache=P,seed=N']
                           [--task-timeout S] [--retries N] [--journal FILE]
     python -m repro sweep submit 'program=sor scale=smoke seed=0..7' --jobs 4
@@ -243,6 +248,12 @@ def _cmd_sweep(args) -> int:
     tokens = list(args.tokens)
     mode = tokens[0] if tokens else ""
 
+    if args.qmon_dir and mode in ("exec-job", "submit", "status", "fetch",
+                                  "resume"):
+        print("sweep: --qmon-dir applies to synchronous grid sweeps only",
+              file=sys.stderr)
+        return 2
+
     if mode == "exec-job":
         if len(tokens) != 2:
             print("usage: repro sweep exec-job JOB_DIR", file=sys.stderr)
@@ -378,7 +389,7 @@ def _cmd_sweep(args) -> int:
             progress=None if args.quiet else stream,
             retry=RetryPolicy(max_attempts=args.retries + 1),
             chaos=chaos, task_timeout=args.task_timeout,
-            journal=journal, stop=stop,
+            journal=journal, stop=stop, qmon_dir=args.qmon_dir,
         )
     except ValueError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
@@ -530,11 +541,17 @@ def _cmd_trace(args) -> int:
     _apply_sanitize(args)
     _apply_queue(args)
     _apply_telemetry(args)
+    route = getattr(args, "route", "direct")
     detail: dict = {}
-    trace = run_measured(args.program, scale=args.scale, seed=args.seed,
-                         faults=plan,
-                         sanitize=True if args.sanitize else None,
-                         detail=detail)
+    try:
+        trace = run_measured(args.program, scale=args.scale, seed=args.seed,
+                             faults=plan, route=route,
+                             qmon=True if route == "switched" else None,
+                             sanitize=True if args.sanitize else None,
+                             detail=detail)
+    except ValueError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
     if args.text:
         save_text(trace, args.out)
     else:
@@ -542,6 +559,14 @@ def _cmd_trace(args) -> int:
     print(f"{args.program}: {len(trace)} packets over {trace.duration:.1f} s "
           f"-> {args.out}")
     print(f"sha256={trace_digest(trace)}")
+    mon = detail.get("qmon")
+    if mon is not None:
+        print(f"switched: max queue depth {mon.max_depth_frames()} frames, "
+              f"{mon.total_drops()} drop(s)")
+        for sid in sorted(mon.ports):
+            pm = mon.ports[sid]
+            print(f"  port{sid}: max depth {pm.max_depth_frames} frames, "
+                  f"{len(pm.drops)} drop(s)")
     if plan is not None:
         drops = detail.get("drops", {})
         dropped = ", ".join(f"{k}={v}" for k, v in sorted(drops.items()))
@@ -550,6 +575,62 @@ def _cmd_trace(args) -> int:
         print(f"retransmissions: {detail.get('retransmitted_segments', 0)} "
               f"segments ({trace.retransmit_share():.1%} of bytes)")
     _print_telemetry_summary()
+    return 0
+
+
+def _cmd_qmon(args) -> int:
+    from .capture import trace_digest
+    from .netmon import build_manifest, format_qmon, validate_qmon, write_qmon
+    from .programs import PROGRAMS, run_measured
+
+    if args.program not in PROGRAMS:
+        print(f"unknown program {args.program!r}; known: {', '.join(PROGRAMS)}",
+              file=sys.stderr)
+        return 2
+    tel = None
+    if args.emit_chrome is not None:
+        from .telemetry import Telemetry
+
+        tel = Telemetry(label=f"qmon {args.program}/{args.scale}")
+    config = {
+        "window": args.window,
+        "burst_depth": args.burst_depth,
+        "burst_min_duration": args.burst_duration,
+        "top_k": args.top_k,
+    }
+    detail: dict = {}
+    try:
+        trace = run_measured(
+            args.program, scale=args.scale, seed=args.seed,
+            nprocs=args.nprocs, iterations=args.iterations,
+            route=args.route, qmon=config, telemetry=tel, detail=detail,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"qmon: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.program}: {len(trace)} packets over {trace.duration:.1f} s "
+          f"({args.route} route)")
+    print(f"sha256={trace_digest(trace)}")
+    doc = build_manifest(detail["qmon"], meta={
+        "program": args.program, "scale": args.scale, "seed": args.seed,
+        "nprocs": args.nprocs, "route": args.route,
+    })
+    problems = validate_qmon(doc)
+    if problems:
+        for problem in problems:
+            print(f"qmon: invalid manifest: {problem}", file=sys.stderr)
+        return 1
+    print(format_qmon(doc))
+    if args.out is not None:
+        write_qmon(args.out, doc)
+        print(f"[qmon manifest -> {args.out}]")
+    if tel is not None:
+        from .telemetry import write_chrome
+
+        doc_chrome = write_chrome(tel, args.emit_chrome,
+                                  label=f"qmon {args.program}/{args.scale}")
+        print(f"[chrome trace: {len(doc_chrome['traceEvents'])} events "
+              f"-> {args.emit_chrome}]")
     return 0
 
 
@@ -855,6 +936,10 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--telemetry", action="store_true",
                          help="collect sweep/pool telemetry counters and "
                               "print a summary")
+    p_sweep.add_argument("--qmon-dir", metavar="DIR", default=None,
+                         help="collect switch-queue manifests for "
+                              "route=switched keys as DIR/<digest>.qmon.json "
+                              "(synchronous sweeps only)")
     p_sweep.set_defaults(fn=_cmd_sweep, no_cache=False)
 
     p_tr = sub.add_parser("trace", help="capture one program's packet trace")
@@ -863,7 +948,45 @@ def main(argv=None) -> int:
     p_tr.add_argument("--out", required=True, help="output file (.npz or text)")
     p_tr.add_argument("--text", action="store_true",
                       help="write tcpdump-style text instead of npz")
+    p_tr.add_argument("--route", choices=["direct", "default", "switched"],
+                      default="direct",
+                      help="message route: direct TCP, daemon-routed UDP, "
+                           "or direct TCP over the switched fabric (also "
+                           "prints per-port queue depth and drops)")
     p_tr.set_defaults(fn=_cmd_trace)
+
+    p_qm = sub.add_parser(
+        "qmon",
+        help="run a program over the switched fabric under per-port queue "
+             "monitors: depth, microbursts, delay attribution, drops",
+    )
+    p_qm.add_argument("program")
+    p_qm.add_argument("--route", choices=["switched"], default="switched",
+                      help="only the switched fabric has output-port queues")
+    p_qm.add_argument("--scale", default="default",
+                      choices=["smoke", "default", "full"])
+    p_qm.add_argument("--seed", type=int, default=0)
+    p_qm.add_argument("--nprocs", type=int, default=4)
+    p_qm.add_argument("--iterations", type=int, default=None)
+    p_qm.add_argument("--window", type=float, default=0.010, metavar="W",
+                      help="aggregation window in simulated seconds "
+                           "(default: 0.010)")
+    p_qm.add_argument("--burst-depth", type=int, default=4, metavar="N",
+                      help="queue depth (frames) counting as a microburst "
+                           "(default: 4)")
+    p_qm.add_argument("--burst-duration", type=float, default=0.0,
+                      metavar="S",
+                      help="minimum sustained burst duration in seconds "
+                           "(default: 0)")
+    p_qm.add_argument("--top-k", type=int, default=3, metavar="K",
+                      help="contributor flows ranked per window/burst "
+                           "(default: 3)")
+    p_qm.add_argument("--out", default=None, metavar="FILE",
+                      help="write the byte-deterministic qmon.json manifest")
+    p_qm.add_argument("--emit-chrome", default=None, metavar="FILE",
+                      help="write a Perfetto trace with per-port queue-depth "
+                           "counter tracks")
+    p_qm.set_defaults(fn=_cmd_qmon)
 
     p_cache = sub.add_parser(
         "cache", help="inspect, clear, or warm the persistent trace cache"

@@ -19,6 +19,7 @@ from ..capture import PacketTrace, TraceRecorder
 from ..des import Event, Simulator, Timeout
 from ..faults import FaultInjector, FaultPlan
 from ..net import EthernetBus, Nic, SwitchedFabric
+from ..netmon import FabricMonitor, QmonConfig
 from ..pvm import PvmMessage, Route, VirtualMachine
 from ..transport import HostStack
 from .compute import WorkModel
@@ -63,6 +64,13 @@ class FxCluster:
         existing instance to share one); ``None`` defers to the
         ``REPRO_TELEMETRY`` environment variable.  Instrumented runs
         produce byte-identical traces.
+    qmon:
+        Attach observer-only per-port queue monitors to the switched
+        fabric (``True`` for defaults, a :class:`~repro.netmon.QmonConfig`
+        or kwargs dict to tune windows/thresholds).  Requires
+        ``medium="switched"``; monitored runs produce byte-identical
+        traces.  The attached :class:`~repro.netmon.FabricMonitor` is
+        exposed as ``cluster.qmon``.
     queue:
         Future-event queue for the simulator (name, class, or instance —
         see :func:`repro.des.queues.make_queue`); ``None`` defers to the
@@ -83,6 +91,7 @@ class FxCluster:
         sanitize: Optional[bool] = None,
         telemetry=None,
         queue=None,
+        qmon=None,
     ):
         if n_machines < 2:
             raise ValueError("a cluster needs at least 2 machines")
@@ -110,6 +119,15 @@ class FxCluster:
             self.bus = SwitchedFabric(self.sim, link_bps=bandwidth_bps, seed=seed)
         else:
             raise ValueError(f"unknown medium {medium!r}")
+        self.qmon = None
+        qmon_config = QmonConfig.coerce(qmon)
+        if qmon_config is not None:
+            if medium != "switched":
+                raise ValueError(
+                    "queue monitors observe the switched fabric; "
+                    f"medium {medium!r} has no output-port queues"
+                )
+            self.qmon = self.bus.attach_monitor(FabricMonitor(qmon_config))
         queue_limit = (self.faults.nic_queue_limit
                        if self.faults is not None else None)
         self.stacks: List[HostStack] = [

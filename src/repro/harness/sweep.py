@@ -227,13 +227,22 @@ def parse_grid(spec: Union[str, Sequence[str]]) -> SweepGrid:
                 elif axis == "route":
                     from ..pvm import Route
 
-                    try:
-                        values.append(Route(part.lower()))
-                    except ValueError:
-                        known = ", ".join(r.value for r in Route)
-                        raise GridError(
-                            f"unknown route {part!r}; known: {known}"
-                        ) from None
+                    low = part.lower()
+                    if low == "switched":
+                        # Pseudo-route: direct TCP over the switched
+                        # fabric; kept as a string so the cache key is
+                        # distinct from the Route enum values.
+                        values.append(low)
+                    else:
+                        try:
+                            values.append(Route(low))
+                        except ValueError:
+                            known = ", ".join(
+                                sorted(r.value for r in Route) + ["switched"]
+                            )
+                            raise GridError(
+                                f"unknown route {part!r}; known: {known}"
+                            ) from None
                 elif axis == "queue":
                     from ..des.queues import QUEUES
 
@@ -399,6 +408,28 @@ def pool_stats() -> Dict[str, int]:
     return stats
 
 
+def _qmon_requested(overrides: dict) -> bool:
+    """Queue monitors only observe the switched fabric."""
+    return overrides.get("route") == "switched"
+
+
+def _qmon_path(qmon_dir, digest: str) -> Path:
+    return Path(qmon_dir) / f"{digest}.qmon.json"
+
+
+def _write_qmon_manifest(qmon_dir, digest: str, monitor,
+                         name: str, scale: str, seed: int) -> None:
+    """Atomically land one key's qmon manifest next to the sweep."""
+    from ..netmon import build_manifest, write_qmon
+
+    directory = Path(qmon_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    doc = build_manifest(monitor, meta={
+        "program": name, "scale": scale, "seed": seed, "digest": digest,
+    })
+    write_qmon(directory / f"{digest}.qmon.json", doc)
+
+
 def _produce_one(task):
     """Pool worker: produce one trace through the disk cache.
 
@@ -406,26 +437,44 @@ def _produce_one(task):
     trace sha256, packets, simulated seconds, produced?, worker wall
     seconds, error)``.  A failure is reported, never raised — one bad
     key must not poison the sweep.
+
+    An optional 7th task element carries a qmon manifest directory:
+    switched-route keys then run under queue monitors (trace bytes are
+    unchanged) and land ``<digest>.qmon.json`` beside the sweep.
     """
     from ..programs import run_measured
 
-    name, scale, seed, overrides, digest, cache_dir = task
+    name, scale, seed, overrides, digest, cache_dir = task[:6]
+    qmon_dir = task[6] if len(task) > 6 else None
     directory = Path(cache_dir)
     npz = directory / f"{digest}.npz"
+    want_qmon = qmon_dir is not None and _qmon_requested(overrides)
     t0 = _WALL()
     try:
-        if npz.exists():
+        npz_existed = npz.exists()
+        if npz_existed and not (want_qmon
+                                and not _qmon_path(qmon_dir, digest).exists()):
             # Raced or resumed: another worker (or a previous sweep)
-            # already landed this entry.
+            # already landed this entry (and its manifest, if asked for).
             trace = load_npz(npz)
             return (digest, trace_digest(trace), len(trace),
                     float(trace.duration), False, _WALL() - t0, None)
-        trace = run_measured(name, scale=scale, seed=seed, **overrides)
-        sha = _write_entry(directory, digest, trace,
-                           {"name": name, "scale": scale, "seed": seed,
-                            "overrides": overrides})
-        return (digest, sha, len(trace), float(trace.duration), True,
-                _WALL() - t0, None)
+        if want_qmon:
+            detail: dict = {}
+            trace = run_measured(name, scale=scale, seed=seed, qmon=True,
+                                 detail=detail, **overrides)
+            _write_qmon_manifest(qmon_dir, digest, detail["qmon"],
+                                 name, scale, seed)
+        else:
+            trace = run_measured(name, scale=scale, seed=seed, **overrides)
+        if npz_existed:
+            sha = trace_digest(trace)
+        else:
+            sha = _write_entry(directory, digest, trace,
+                               {"name": name, "scale": scale, "seed": seed,
+                                "overrides": overrides})
+        return (digest, sha, len(trace), float(trace.duration),
+                not npz_existed, _WALL() - t0, None)
     except Exception as exc:  # noqa: BLE001 - reported per key
         return (digest, "", 0, 0.0, False, _WALL() - t0,
                 f"{type(exc).__name__}: {exc}")
@@ -640,15 +689,29 @@ def _peek_cached(store: TraceStore, key: TraceKey) -> Optional[SweepEntry]:
     )
 
 
-def _produce_serial(store: TraceStore, key: TraceKey,
-                    overrides: dict) -> SweepEntry:
+def _produce_serial(store: TraceStore, key: TraceKey, overrides: dict,
+                    qmon_dir=None) -> SweepEntry:
     """In-process production through the store (jobs=1 / memory-only)."""
     digest = key.digest()
     cached = key in store
+    want_qmon = (qmon_dir is not None and _qmon_requested(overrides)
+                 and not _qmon_path(qmon_dir, digest).exists())
     t0 = _WALL()
     try:
-        trace = store.get(key.name, scale=key.scale, seed=key.seed,
-                          **overrides)
+        if want_qmon:
+            # The manifest needs a live simulation; re-run under the
+            # monitor (trace bytes are unchanged) and write through.
+            from ..programs import run_measured
+
+            detail: dict = {}
+            trace = run_measured(key.name, scale=key.scale, seed=key.seed,
+                                 qmon=True, detail=detail, **overrides)
+            store.put(key, trace)
+            _write_qmon_manifest(qmon_dir, digest, detail["qmon"],
+                                 key.name, key.scale, key.seed)
+        else:
+            trace = store.get(key.name, scale=key.scale, seed=key.seed,
+                              **overrides)
     except Exception as exc:  # noqa: BLE001 - reported per key
         return SweepEntry(key=key, digest=digest, wall_seconds=_WALL() - t0,
                           error=f"{type(exc).__name__}: {exc}")
@@ -669,6 +732,7 @@ def run_sweep(
     task_timeout: Optional[float] = None,
     journal: Optional[SweepJournal] = None,
     stop=None,
+    qmon_dir=None,
 ) -> SweepResult:
     """Execute a sweep: every grid key produced once, cache first.
 
@@ -708,6 +772,12 @@ def run_sweep(
     stop:
         A ``threading.Event``; once set the sweep drains in-flight work,
         records what finished, and returns with ``interrupted=True``.
+    qmon_dir:
+        Collect switch-queue manifests: every switched-route key lands
+        ``<digest>.qmon.json`` under this directory.  Keys whose trace
+        is cached but whose manifest is missing are re-simulated under
+        the monitor (trace bytes are unchanged, so the cache entry and
+        the sweep manifest stay byte-identical).
 
     Cache-hit keys short-circuit before dispatch: a fully warm sweep
     performs no simulation and spawns no worker.  Failures are recorded
@@ -818,6 +888,10 @@ def run_sweep(
             ))
             continue
         hit = _peek_cached(store, key)
+        if (hit is not None and qmon_dir is not None
+                and _qmon_requested(overrides)
+                and not _qmon_path(qmon_dir, digest).exists()):
+            hit = None  # cached trace, missing manifest: re-produce
         if hit is not None:
             record(hit)
         else:
@@ -829,7 +903,8 @@ def run_sweep(
         store.disk_dir.mkdir(parents=True, exist_ok=True)
         pool = shared_pool(jobs)
         tasks = [
-            (k.name, k.scale, k.seed, ov, k.digest(), str(store.disk_dir))
+            (k.name, k.scale, k.seed, ov, k.digest(), str(store.disk_dir),
+             str(qmon_dir) if qmon_dir is not None else None)
             for k, ov in misses
         ]
         by_digest = {k.digest(): k for k, _ in misses}
@@ -865,7 +940,8 @@ def run_sweep(
             if stopping():
                 break
             record(_produce_serial_with_retry(store, key, overrides,
-                                              retry, on_event, stopping))
+                                              retry, on_event, stopping,
+                                              qmon_dir=qmon_dir))
 
     ordered = sorted(
         entries.values(),
@@ -891,6 +967,7 @@ def _produce_serial_with_retry(
     retry: RetryPolicy,
     on_event: Callable,
     stopping: Callable[[], bool],
+    qmon_dir=None,
 ) -> SweepEntry:
     """Serial production under the same retry/quarantine policy as the
     pool (minus worker supervision — there is no worker to die)."""
@@ -898,7 +975,7 @@ def _produce_serial_with_retry(
     attempt = 0
     while True:
         attempt += 1
-        entry = _produce_serial(store, key, overrides)
+        entry = _produce_serial(store, key, overrides, qmon_dir=qmon_dir)
         entry.attempts = attempt
         if entry.error is None or stopping():
             return entry

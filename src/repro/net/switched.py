@@ -85,6 +85,9 @@ class _OutputPort:
         else:
             self.best_effort.append(frame)
         self.queued_bytes += frame.size
+        mon = self.fabric.monitor
+        if mon is not None:
+            mon.on_enqueue(self.station_id, frame, self.fabric.sim.now)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
 
@@ -106,13 +109,20 @@ class _OutputPort:
                     self.reserved.popleft()
                 elif not self.best_effort:
                     # nothing else to send: wait for tokens
-                    yield sim.timeout(res.time_until(head.size))
+                    wait = res.time_until(head.size)
+                    mon = self.fabric.monitor
+                    if mon is not None:
+                        mon.on_token_wait(self.station_id, head, sim.now, wait)
+                    yield sim.timeout(wait)
                     continue
             if frame is None and self.best_effort:
                 frame = self.best_effort.popleft()
             if frame is None:  # pragma: no cover - defensive
                 continue
             tx = frame.wire_bits / link_bps
+            mon = self.fabric.monitor
+            if mon is not None:
+                mon.on_service_start(self.station_id, frame, sim.now, tx)
             tel = sim.telemetry
             span = None
             if tel is not None:
@@ -123,6 +133,9 @@ class _OutputPort:
             self.queued_bytes -= frame.size
             self.fabric.stats.busy_time += tx
             self.fabric._deliver(frame, self.station_id)
+            mon = self.fabric.monitor
+            if mon is not None:
+                mon.on_delivered(self.station_id, frame, sim.now)
             if span is not None:
                 tel.end(span, sim.now)
 
@@ -156,6 +169,15 @@ class SwitchedFabric:
         self._listeners: List[Callable[[EthernetFrame, float], None]] = []
         self._ports: Dict[int, _OutputPort] = {}
         self._reservations: Dict[Tuple[int, int], Reservation] = {}
+        # Optional observer-only queue monitor (repro.netmon.FabricMonitor).
+        self.monitor = None
+
+    def attach_monitor(self, monitor):
+        """Attach a pure-observer queue monitor before the run starts."""
+        if self.monitor is not None:
+            raise ValueError("a queue monitor is already attached")
+        self.monitor = monitor.attach(self)
+        return self.monitor
 
     def record_drop(self, reason: str, frame: EthernetFrame) -> None:
         """Log a destroyed frame (same contract as the shared bus)."""
@@ -167,6 +189,8 @@ class SwitchedFabric:
         if tel is not None:
             tel.count("net.frames_dropped")
             tel.count(f"drops.{reason}")
+        if self.monitor is not None:
+            self.monitor.on_drop(frame, reason, self.sim.now)
 
     # -- interface shared with EthernetBus ---------------------------------
     @property

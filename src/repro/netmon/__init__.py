@@ -1,0 +1,25 @@
+"""Switch-queue observability: per-port monitors, microburst detection,
+queue-delay attribution, and byte-deterministic qmon manifests."""
+
+from .manifest import (
+    QMON_SCHEMA_VERSION,
+    build_manifest,
+    format_qmon,
+    manifest_json,
+    validate_qmon,
+    write_qmon,
+)
+from .monitor import FabricMonitor, PortMonitor, QmonConfig, flow_of
+
+__all__ = [
+    "QMON_SCHEMA_VERSION",
+    "FabricMonitor",
+    "PortMonitor",
+    "QmonConfig",
+    "build_manifest",
+    "flow_of",
+    "format_qmon",
+    "manifest_json",
+    "validate_qmon",
+    "write_qmon",
+]

@@ -16,7 +16,14 @@ from .shift import Shift
 from .sor import Sor
 from .tfft2d import TaskFft2d
 
-__all__ = ["PROGRAMS", "KERNELS", "make_program", "run_measured", "kernel_table"]
+__all__ = [
+    "PROGRAMS",
+    "KERNELS",
+    "make_program",
+    "resolve_route",
+    "run_measured",
+    "kernel_table",
+]
 
 #: The six measured programs plus the paper's §7.3 SHIFT example.
 PROGRAMS: Dict[str, Type[FxProgram]] = {
@@ -44,6 +51,29 @@ def make_program(name: str, **kwargs) -> FxProgram:
     return cls(**kwargs)
 
 
+def resolve_route(route) -> tuple:
+    """Resolve a route spec into ``(Route, medium-or-None)``.
+
+    Accepts the :class:`~repro.pvm.Route` enum, its string values
+    ("direct", "default"), or the pseudo-route "switched" — direct TCP
+    carried over the switched fabric instead of the shared bus.
+    """
+    if isinstance(route, Route):
+        return route, None
+    if isinstance(route, str):
+        spec = route.strip().lower()
+        if spec == "switched":
+            return Route.DIRECT, "switched"
+        try:
+            return Route(spec), None
+        except ValueError:
+            pass
+    raise ValueError(
+        f"unknown route {route!r}; known: "
+        + ", ".join(sorted(r.value for r in Route) + ["switched"])
+    )
+
+
 def run_measured(
     name: str,
     scale: str = "default",
@@ -56,6 +86,7 @@ def run_measured(
     faults=None,
     sanitize: Optional[bool] = None,
     telemetry=None,
+    qmon=None,
     detail: Optional[dict] = None,
 ) -> PacketTrace:
     """Reproduce one of the paper's measurement runs.
@@ -89,6 +120,15 @@ def run_measured(
         run (``True`` for a private instance, or an existing instance to
         share one).  Does not change the trace bytes; ``None`` defers to
         ``REPRO_TELEMETRY``.
+    route:
+        A :class:`~repro.pvm.Route`, its string value, or "switched" —
+        direct TCP carried over the switched fabric (implies
+        ``cluster_kwargs["medium"] = "switched"``).
+    qmon:
+        Attach observer-only switch-queue monitors (``True``,
+        :class:`~repro.netmon.QmonConfig`, or a kwargs dict).  Requires
+        the switched medium.  Does not change the trace bytes; the
+        :class:`~repro.netmon.FabricMonitor` lands in ``detail["qmon"]``.
     detail:
         Pass a dict to receive the run summary —
         :meth:`FxCluster.fault_report` plus ``retransmit_share`` — in
@@ -104,9 +144,20 @@ def run_measured(
                 f"known: {sorted(ITERATIONS.get(name, {}))}"
             ) from None
     program = make_program(name, **(program_kwargs or {}))
+    route, medium = resolve_route(route)
+    cluster_kwargs = dict(cluster_kwargs or {})
+    if medium is not None:
+        existing = cluster_kwargs.setdefault("medium", medium)
+        if existing != medium:
+            raise ValueError(
+                f"route requires medium {medium!r} but cluster_kwargs "
+                f"pins {existing!r}"
+            )
+    if qmon is not None:
+        cluster_kwargs.setdefault("qmon", qmon)
     cluster = FxCluster(n_machines=nprocs + 1, seed=seed, faults=faults,
                         sanitize=sanitize, telemetry=telemetry,
-                        **(cluster_kwargs or {}))
+                        **cluster_kwargs)
     runtime = FxRuntime(
         cluster, nprocs, work_model_for(name, seed=seed), route=route
     )
@@ -115,6 +166,8 @@ def run_measured(
         detail.update(cluster.fault_report())
         detail["packets"] = len(trace)
         detail["retransmit_share"] = trace.retransmit_share()
+        if cluster.qmon is not None:
+            detail["qmon"] = cluster.qmon
     return trace
 
 

@@ -13,6 +13,11 @@ https://ui.perfetto.dev.  Two processes appear in the viewer:
   simulation (trace-store production, analysis stages), timed relative
   to the telemetry instance's wall epoch.
 
+Counter time series recorded with :meth:`Telemetry.sample` (e.g. the
+per-port queue depth from :mod:`repro.netmon`) export as "C"-phase
+counter events on the simulation timeline, so a queue buildup is visible
+next to the compute/TCP spans that caused it.
+
 Final counter and gauge values ride in ``otherData`` (the trace-event
 format's free-form metadata section), so the numbers behind a track are
 one click away in the viewer.
@@ -34,6 +39,7 @@ WALL_PID = 2
 #: Trace-event phase codes used by the exporter.
 _PH_COMPLETE = "X"
 _PH_METADATA = "M"
+_PH_COUNTER = "C"
 
 
 def chrome_trace(tel: Telemetry, label: Optional[str] = None) -> dict:
@@ -86,6 +92,19 @@ def chrome_trace(tel: Telemetry, label: Optional[str] = None) -> dict:
             "tid": tid_for(span.track or "default", pid),
             "args": args,
         })
+
+    for track, name in sorted(tel.series):
+        tid = tid_for(track, SIM_PID)
+        for sim_time, value in tel.series[(track, name)]:
+            events.append({
+                "ph": _PH_COUNTER,
+                "name": f"{track} {name}",
+                "cat": "counter",
+                "ts": sim_time * 1e6,
+                "pid": SIM_PID,
+                "tid": tid,
+                "args": {"value": value},
+            })
 
     return {
         "traceEvents": events,
@@ -148,6 +167,16 @@ def validate_chrome_trace(doc) -> List[str]:
                 errors.append(f"{where}: missing tid")
             if not isinstance(ev.get("cat"), str):
                 errors.append(f"{where}: missing cat")
+            continue
+        if ph == _PH_COUNTER:
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: bad ts {ts!r}")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter event without args")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                errors.append(f"{where}: non-numeric counter value")
             continue
         errors.append(f"{where}: unexpected phase {ph!r}")
     return errors

@@ -139,17 +139,27 @@ class Telemetry:
         Retention cap: spans beyond it are counted
         (``telemetry.spans_dropped``) but not stored, bounding memory on
         full-scale runs.
+    max_samples:
+        Retention cap for counter-series samples (see :meth:`sample`);
+        samples beyond it are counted (``telemetry.samples_dropped``)
+        but not stored.
     """
 
     def __init__(self, label: str = "", clock: Optional[Callable[[], float]] = None,
-                 max_spans: int = 1_000_000):
+                 max_spans: int = 1_000_000, max_samples: int = 1_000_000):
         if max_spans < 0:
             raise ValueError(f"max_spans must be >= 0, got {max_spans}")
+        if max_samples < 0:
+            raise ValueError(f"max_samples must be >= 0, got {max_samples}")
         self.label = label
         self.clock: Callable[[], float] = clock if clock is not None else _WALL_CLOCK
         self.max_spans = max_spans
+        self.max_samples = max_samples
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        #: (track, name) -> [(sim_time, value), ...] counter time series.
+        self.series: Dict[tuple, List[tuple]] = {}
+        self._n_samples = 0
         self.spans: List[Span] = []
         #: process name -> [resumes, wall seconds] (profiler input).
         self.wall_by_process: Dict[str, List[float]] = {}
@@ -172,6 +182,19 @@ class Telemetry:
         current = self.gauges.get(name)
         if current is None or value > current:
             self.gauges[name] = value
+
+    def sample(self, name: str, track: str, sim_time: float, value: float) -> None:
+        """Append one point to the ``(track, name)`` counter time series.
+
+        Series render as Perfetto counter tracks ("C" events) in the
+        Chrome export — e.g. per-port queue depth next to the TCP spans.
+        Beyond ``max_samples`` points are counted but not stored.
+        """
+        if self._n_samples >= self.max_samples:
+            self.count("telemetry.samples_dropped")
+            return
+        self._n_samples += 1
+        self.series.setdefault((track, name), []).append((sim_time, value))
 
     # -- spans ---------------------------------------------------------
     def begin(self, name: str, category: str, track: str,
@@ -268,6 +291,9 @@ class Telemetry:
             entry = self.wall_by_process.setdefault(name, [0, 0.0])
             entry[0] += calls
             entry[1] += seconds
+        for key, points in other.series.items():
+            self.series.setdefault(key, []).extend(points)
+            self._n_samples += len(points)
 
     def __repr__(self):  # pragma: no cover - cosmetic
         return (f"<Telemetry {self.label!r} spans={len(self.spans)} "

@@ -12,7 +12,7 @@ class TestRegistry:
         assert set(ABLATIONS) == {
             "abl-bandwidth", "abl-window", "abl-fragment", "abl-route",
             "abl-ack", "abl-procs", "abl-interfere", "abl-model",
-            "abl-switched", "abl-airshed", "abl-loss",
+            "abl-switched", "abl-airshed", "abl-loss", "abl-queue",
         }
 
     def test_unknown_rejected(self):

@@ -57,3 +57,92 @@ def test_trace_text(tmp_path):
 
 def test_trace_unknown_program():
     assert main(["trace", "nope", "--out", "/tmp/x.npz"]) == 2
+
+
+class TestQmonCli:
+    def test_qmon_prints_summary_and_digest(self, capsys):
+        assert main(["qmon", "sor", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "sha256=" in out
+        assert "port0:" in out
+        assert "qmon:" in out
+
+    def test_qmon_out_is_byte_deterministic(self, tmp_path, capsys):
+        a = tmp_path / "a.qmon.json"
+        b = tmp_path / "b.qmon.json"
+        assert main(["qmon", "sor", "--scale", "smoke",
+                     "--out", str(a)]) == 0
+        assert main(["qmon", "sor", "--scale", "smoke",
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        doc = json.loads(a.read_text())
+        from repro.netmon import validate_qmon
+
+        assert validate_qmon(doc) == []
+        assert doc["meta"]["program"] == "sor"
+
+    def test_qmon_digest_matches_unmonitored_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "t.npz"
+        assert main(["trace", "sor", "--scale", "smoke", "--route",
+                     "switched", "--out", str(out_file)]) == 0
+        trace_out = capsys.readouterr().out
+        assert main(["qmon", "sor", "--scale", "smoke"]) == 0
+        qmon_out = capsys.readouterr().out
+        trace_sha = [l for l in trace_out.splitlines() if "sha256=" in l]
+        qmon_sha = [l for l in qmon_out.splitlines() if "sha256=" in l]
+        assert trace_sha and trace_sha == qmon_sha
+
+    def test_qmon_unknown_program_exits_2(self, capsys):
+        assert main(["qmon", "nope"]) == 2
+
+    def test_qmon_emit_chrome(self, tmp_path, capsys):
+        chrome = tmp_path / "q.trace.json"
+        assert main(["qmon", "hist", "--scale", "smoke",
+                     "--emit-chrome", str(chrome)]) == 0
+        capsys.readouterr()
+        events = json.loads(chrome.read_text())["traceEvents"]
+        assert any(ev.get("ph") == "C" and "queue depth" in ev.get("name", "")
+                   for ev in events)
+
+
+class TestTraceSwitchedRoute:
+    def test_prints_per_port_queue_summary(self, tmp_path, capsys):
+        out_file = tmp_path / "t.npz"
+        assert main(["trace", "2dfft", "--scale", "smoke", "--route",
+                     "switched", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "switched: max queue depth" in out
+        assert "port0:" in out
+
+    def test_direct_route_has_no_queue_summary(self, tmp_path, capsys):
+        out_file = tmp_path / "t.npz"
+        assert main(["trace", "2dfft", "--scale", "smoke",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "switched:" not in out
+
+
+class TestSweepQmonCli:
+    def test_sweep_qmon_dir_writes_manifests(self, tmp_path, capsys,
+                                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        qdir = tmp_path / "qmon"
+        rc = main(["sweep", "program=sor scale=smoke seed=0 route=switched",
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--qmon-dir", str(qdir), "--quiet"])
+        assert rc == 0
+        capsys.readouterr()
+        files = sorted(qdir.glob("*.qmon.json"))
+        assert len(files) == 1
+        from repro.netmon import validate_qmon
+
+        assert validate_qmon(json.loads(files[0].read_text())) == []
+
+    def test_qmon_dir_rejected_for_service_modes(self, tmp_path, capsys):
+        rc = main(["sweep", "submit",
+                   "program=sor scale=smoke seed=0 route=switched",
+                   "--root", str(tmp_path / "q"),
+                   "--qmon-dir", str(tmp_path / "qmon")])
+        assert rc == 2
+        assert "qmon-dir" in capsys.readouterr().err

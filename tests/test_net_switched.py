@@ -191,3 +191,135 @@ class TestFxOverSwitch:
 
         with pytest.raises(ValueError):
             FxCluster(n_machines=3, medium="carrier-pigeon")
+
+
+class TestReservationEdgeCases:
+    """Token-bucket arithmetic at its boundaries."""
+
+    def _res(self, rate_bps=1e6, bucket=4096, tokens=0.0):
+        from repro.net.switched import Reservation
+
+        return Reservation(src=0, dst=1, rate_bps=rate_bps,
+                           bucket_bytes=bucket, tokens=tokens,
+                           last_update=0.0)
+
+    def test_zero_byte_frame_always_eligible(self):
+        res = self._res(tokens=0.0)
+        assert res.eligible(0.0, 0)
+        assert res.time_until(0) == 0.0
+
+    def test_exactly_full_bucket_does_not_overflow(self):
+        res = self._res(bucket=4096, tokens=4096.0)
+        res.refill(100.0)  # a long idle period cannot exceed the bucket
+        assert res.tokens == 4096.0
+        assert res.eligible(100.0, 4096)
+        res.consume(4096)
+        assert res.tokens == 0.0
+
+    def test_eligibility_at_exact_token_count(self):
+        res = self._res(rate_bps=8e6, tokens=0.0)
+        # 8 Mb/s = 1 MB/s: 1518 tokens accrue in exactly 1518 us.
+        assert not res.eligible(0.0, 1518)
+        assert res.time_until(1518) == pytest.approx(1518e-6)
+        assert res.eligible(1518e-6, 1518)
+
+    def test_epsilon_absorbs_float_rounding(self):
+        res = self._res(tokens=1518.0 - 1e-7)
+        assert res.eligible(0.0, 1518)  # a hair short must not starve
+        assert res.time_until(1518) == 0.0
+
+    def test_refill_is_idempotent_at_same_instant(self):
+        res = self._res(rate_bps=1e6, tokens=100.0)
+        res.refill(1.0)
+        once = res.tokens
+        res.refill(1.0)
+        assert res.tokens == once
+
+    def test_release_mid_queue_demotes_new_frames(self):
+        """Frames queued under a reservation keep priority after release;
+        frames sent after the release travel best-effort."""
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=10e6)
+        nics = [Nic(sim, fabric, i) for i in range(3)]
+        fabric.reserve(1, 0, rate_bps=5e6)
+        got = []
+        nics[0].set_rx_handler(lambda f, t: got.append((f.src, f.payload)))
+        nics[1].send(EthernetFrame(src=1, dst=0, payload_size=1000,
+                                   payload="reserved"))
+        sim.run(until=0.005)  # frame is queued/delivered under priority
+        fabric.release_reservation(1, 0)
+        with pytest.raises(KeyError):
+            fabric.release_reservation(1, 0)
+        nics[1].send(EthernetFrame(src=1, dst=0, payload_size=1000,
+                                   payload="best-effort"))
+        sim.run()
+        assert [p for _s, p in got] == ["reserved", "best-effort"]
+        port = fabric._ports[0]
+        assert not port.reserved and not port.best_effort
+
+
+class TestSwitchedDropAccounting:
+    """Every switched-route drop appears exactly once in the fabric's
+    drop log with a stable reason, and NIC counters agree (the parity
+    contract the shared bus already enforces)."""
+
+    def test_no_port_parity(self):
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=10e6)
+        nic = Nic(sim, fabric, 0)
+        done = nic.send(EthernetFrame(src=0, dst=99, payload_size=100))
+        sim.run()
+        assert done.value is False
+        assert [e.reason for e in fabric.drop_log] == ["no-port"]
+        assert fabric.stats.frames_dropped == 1
+        assert nic.stats.frames_dropped == 1
+        assert len(fabric.drop_log) == nic.stats.frames_dropped
+
+    def test_queue_overflow_parity(self):
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=10e6)
+        nic0 = Nic(sim, fabric, 0, queue_limit=1)
+        Nic(sim, fabric, 1)
+        for _ in range(4):
+            nic0.send(EthernetFrame(src=0, dst=1, payload_size=1000))
+        sim.run()
+        overflow = [e for e in fabric.drop_log if e.reason == "queue-overflow"]
+        assert overflow and len(fabric.drop_log) == len(overflow)
+        assert nic0.stats.frames_dropped == len(overflow)
+        # Adapter drops never count as fabric drops (bus semantics:
+        # the fabric counter covers frames destroyed inside the fabric).
+        assert fabric.stats.frames_dropped == 0
+
+    def test_mixed_drop_reasons_each_logged_once(self):
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=10e6)
+        nic0 = Nic(sim, fabric, 0, queue_limit=1)
+        Nic(sim, fabric, 1)
+        nic2 = Nic(sim, fabric, 2)
+        for _ in range(3):
+            nic0.send(EthernetFrame(src=0, dst=1, payload_size=1000))
+        nic2.send(EthernetFrame(src=2, dst=42, payload_size=64))
+        sim.run()
+        reasons = sorted(e.reason for e in fabric.drop_log)
+        by_reason = {r: reasons.count(r) for r in set(reasons)}
+        assert by_reason.get("no-port") == 1
+        assert by_reason.get("queue-overflow", 0) >= 1
+        total_nic_drops = (nic0.stats.frames_dropped
+                          + nic2.stats.frames_dropped)
+        assert total_nic_drops == len(fabric.drop_log)
+
+    def test_program_run_has_no_silent_drops(self):
+        from repro.programs import run_measured
+
+        detail = {}
+        run_measured("2dfft", scale="smoke", seed=0, route="switched",
+                     qmon=True, detail=detail)
+        assert detail.get("drops", {}) == {}
+        assert detail["qmon"].total_drops() == 0
+
+    def test_faults_on_switched_route_rejected(self):
+        from repro.programs import run_measured
+
+        with pytest.raises(ValueError, match="shared-Ethernet"):
+            run_measured("sor", scale="smoke", seed=0, route="switched",
+                         faults="loss=0.01,seed=1")

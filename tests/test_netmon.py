@@ -1,0 +1,315 @@
+"""Tests for the switch-queue observability subsystem (repro.netmon)."""
+
+import json
+
+import pytest
+
+from repro.capture import trace_digest
+from repro.des import Simulator
+from repro.net import EthernetFrame, Nic, SwitchedFabric
+from repro.netmon import (
+    QMON_SCHEMA_VERSION,
+    FabricMonitor,
+    QmonConfig,
+    build_manifest,
+    flow_of,
+    format_qmon,
+    manifest_json,
+    validate_qmon,
+)
+from repro.programs import PROGRAMS, run_measured
+
+LINK_BPS = 10e6
+
+
+class TestQmonConfig:
+    def test_defaults(self):
+        cfg = QmonConfig()
+        assert cfg.window == pytest.approx(0.010)
+        assert cfg.burst_depth == 4
+        assert cfg.top_k == 3
+
+    def test_coerce(self):
+        assert QmonConfig.coerce(None) is None
+        assert QmonConfig.coerce(False) is None
+        assert QmonConfig.coerce(True) == QmonConfig()
+        cfg = QmonConfig(window=0.5)
+        assert QmonConfig.coerce(cfg) is cfg
+        assert QmonConfig.coerce({"burst_depth": 9}).burst_depth == 9
+        with pytest.raises(TypeError):
+            QmonConfig.coerce(3.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QmonConfig(window=0.0)
+        with pytest.raises(ValueError):
+            QmonConfig(burst_depth=0)
+        with pytest.raises(ValueError):
+            QmonConfig(burst_min_duration=-1.0)
+        with pytest.raises(ValueError):
+            QmonConfig(top_k=0)
+
+
+def test_flow_label_classification():
+    frame = EthernetFrame(src=1, dst=0, payload_size=100)
+    assert flow_of(frame) == "1->0/other"
+
+
+class TestHandComputedMicroburst:
+    """Two senders blast one output port; every depth sample, the burst
+    interval, and the delay attribution are checked against queue
+    occupancy computed by hand.
+
+    Each 1500 B payload frame serializes in T = 1526*8/10e6 s on an
+    uplink, and the sending NIC holds its uplink through the switch
+    latency L, so batch k (one frame per sender, parallel uplinks)
+    arrives at port 0 at k(T+L) while the downlink delivers one frame
+    per T from T+L onward (delivery j at (j+1)T+L).  Depth therefore
+    grows by one per batch with a momentary dip each time a delivery
+    lands before the next (slightly slower) batch, peaks at N+1, then
+    drains.
+    """
+
+    N = 6  # frames per sender
+
+    def _run(self, config=None):
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=LINK_BPS)
+        monitor = fabric.attach_monitor(
+            FabricMonitor(config or QmonConfig(burst_depth=4))
+        )
+        nics = [Nic(sim, fabric, i) for i in range(3)]
+        for k in range(self.N):
+            nics[1].send(EthernetFrame(src=1, dst=0, payload_size=1500))
+            nics[2].send(EthernetFrame(src=2, dst=0, payload_size=1500))
+        sim.run()
+        return fabric, monitor
+
+    @property
+    def T(self):
+        return EthernetFrame(src=1, dst=0, payload_size=1500).wire_bits / LINK_BPS
+
+    def test_depth_series_matches_hand_computation(self):
+        fabric, monitor = self._run()
+        port = monitor.ports[0]
+        T, L = self.T, fabric.switch_latency
+        # First batch arrives at T+L: two enqueues, nic1's frame first.
+        t0, d0, b0, k0 = port.samples[0]
+        assert (t0, d0, b0, k0) == (pytest.approx(T + L), 1, 1518, "enq")
+        t1, d1, b1, k1 = port.samples[1]
+        assert (t1, d1, b1, k1) == (pytest.approx(T + L), 2, 3036, "enq")
+        # At 2T+L the first delivery precedes the second batch's arrivals.
+        assert port.samples[2][0] == pytest.approx(2 * T + L)
+        assert port.samples[2][1:] == (1, 1518, "deq")
+        assert port.samples[3][1:] == (2, 3036, "enq")
+        assert port.samples[4][1:] == (3, 4554, "enq")
+        # Arrivals outpace the drain by one frame per batch: peak N+1.
+        assert port.max_depth_frames == self.N + 1
+        assert port.frames_enqueued == 2 * self.N
+        assert port.frames_delivered == 2 * self.N
+        assert port.depth_frames == 0  # drained by end of run
+
+    def test_burst_interval_and_top_contributors(self):
+        fabric, monitor = self._run()
+        port = monitor.ports[0]
+        T, L = self.T, fabric.switch_latency
+        bursts = port.bursts()
+        assert len(bursts) == 2
+        # Burst 1: batch 3 lands at 3(T+L) taking depth to 4; delivery 3
+        # at 4T+L dips it back to 3 before batch 4 arrives.
+        first = bursts[0]
+        assert first["start"] == pytest.approx(3 * (T + L))
+        assert first["end"] == pytest.approx(4 * T + L)
+        assert first["peak_depth_frames"] == 4
+        # Only batch 3 enqueues inside it: one frame per flow, the tie
+        # broken lexicographically.
+        assert first["top_contributors"][0] == ("1->0/other", 1518)
+        assert first["top_contributors"][1] == ("2->0/other", 1518)
+        # Burst 2: batch 4 at 4(T+L) through the post-peak drain
+        # crossing below 4 at delivery 9 (10T+L), peaking at N+1.
+        second = bursts[1]
+        assert second["start"] == pytest.approx(4 * (T + L))
+        assert second["end"] == pytest.approx(10 * T + L)
+        assert second["peak_depth_frames"] == self.N + 1
+        # Batches 4..6 enqueue inside it: three frames per flow.
+        assert second["top_contributors"][0] == ("1->0/other", 3 * 1518)
+        assert second["top_contributors"][1] == ("2->0/other", 3 * 1518)
+
+    def test_first_victim_attribution(self):
+        """nic2's first frame waits exactly one service time behind
+        nic1's first frame — and the matrix says so."""
+        _fabric, monitor = self._run()
+        port = monitor.ports[0]
+        matrix = port.delay_matrix()
+        assert matrix["2->0/other"]["1->0/other"] > 0
+        # Every attributed second accounts for measured delay exactly
+        # (best-effort traffic only).
+        attributed = sum(
+            secs for row in matrix.values() for secs in row.values()
+        )
+        assert attributed == pytest.approx(port.delay_total, abs=1e-9)
+        # The last frame of nic2 (12th served) waits N*T minus the
+        # (N-1) switch-latency gaps its batch lagged behind the drain.
+        sim = Simulator()
+        L = SwitchedFabric(sim, link_bps=LINK_BPS).switch_latency
+        assert port.delay_max == pytest.approx(
+            self.N * self.T - (self.N - 1) * L, rel=1e-9)
+
+    def test_min_duration_filters_bursts(self):
+        _fabric, monitor = self._run(
+            QmonConfig(burst_depth=4, burst_min_duration=1.0)
+        )
+        assert monitor.ports[0].bursts() == []
+
+    def test_mean_depth_positive(self):
+        _fabric, monitor = self._run()
+        port = monitor.ports[0]
+        assert 0.0 < port.mean_depth_frames() <= port.max_depth_frames
+
+
+class TestDropAttribution:
+    def test_no_port_drop_is_unrouted(self):
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=LINK_BPS)
+        monitor = fabric.attach_monitor(FabricMonitor())
+        nic = Nic(sim, fabric, 0)
+        nic.send(EthernetFrame(src=0, dst=99, payload_size=100))
+        sim.run()
+        assert len(monitor.unrouted_drops) == 1
+        drop = monitor.unrouted_drops[0]
+        assert drop["reason"] == "no-port"
+        assert drop["flow"] == "0->99/other"
+        assert monitor.total_drops() == 1
+
+    def test_overflow_drop_records_queue_state(self):
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=LINK_BPS)
+        monitor = fabric.attach_monitor(FabricMonitor())
+        nic0 = Nic(sim, fabric, 0, queue_limit=1)
+        Nic(sim, fabric, 1)
+        for _ in range(3):
+            nic0.send(EthernetFrame(src=0, dst=1, payload_size=1000))
+        sim.run()
+        port = monitor.ports.get(1)
+        drops = port.drops if port is not None else []
+        assert len(drops) + len(monitor.unrouted_drops) == len(fabric.drop_log)
+        assert all(d["reason"] == "queue-overflow"
+                   for d in drops + monitor.unrouted_drops)
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        fabric = SwitchedFabric(sim, link_bps=LINK_BPS)
+        fabric.attach_monitor(FabricMonitor())
+        with pytest.raises(ValueError):
+            fabric.attach_monitor(FabricMonitor())
+
+
+class TestObserverPurity:
+    """Monitored switched-route runs are byte-identical to unmonitored
+    ones — the golden-digest contract, for every registry program."""
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_monitored_digest_matches_unmonitored(self, name):
+        plain = run_measured(name, scale="smoke", seed=0, route="switched")
+        monitored = run_measured(name, scale="smoke", seed=0,
+                                 route="switched", qmon=True)
+        assert trace_digest(monitored) == trace_digest(plain)
+
+
+class TestManifest:
+    def _monitor(self):
+        detail = {}
+        run_measured("sor", scale="smoke", seed=0, route="switched",
+                     qmon=True, detail=detail)
+        return detail["qmon"]
+
+    def test_byte_deterministic_across_runs(self):
+        doc_a = build_manifest(self._monitor(), meta={"program": "sor"})
+        doc_b = build_manifest(self._monitor(), meta={"program": "sor"})
+        assert manifest_json(doc_a) == manifest_json(doc_b)
+
+    def test_schema_and_validation(self):
+        doc = build_manifest(self._monitor())
+        assert doc["schema"] == QMON_SCHEMA_VERSION
+        assert validate_qmon(doc) == []
+        # Round-trips through JSON.
+        assert validate_qmon(json.loads(manifest_json(doc))) == []
+
+    def test_validation_rejects_corruption(self):
+        doc = build_manifest(self._monitor())
+        assert validate_qmon({"schema": 99}) != []
+        bad = json.loads(manifest_json(doc))
+        bad["totals"]["frames_enqueued"] += 1
+        assert any("disagrees" in p for p in validate_qmon(bad))
+        bad = json.loads(manifest_json(doc))
+        first_port = next(iter(bad["ports"]))
+        bad["ports"][first_port]["frames_delivered"] = -1
+        assert validate_qmon(bad) != []
+
+    def test_totals_agree_with_ports(self):
+        mon = self._monitor()
+        doc = build_manifest(mon)
+        assert doc["totals"]["frames_enqueued"] == sum(
+            p["frames_enqueued"] for p in doc["ports"].values()
+        )
+        assert doc["totals"]["max_depth_frames"] == mon.max_depth_frames()
+
+    def test_format_qmon_mentions_every_port(self):
+        doc = build_manifest(self._monitor())
+        text = format_qmon(doc)
+        for sid in doc["ports"]:
+            assert f"port{sid}:" in text
+
+
+class TestTelemetryIntegration:
+    def test_depth_series_lands_in_chrome_export(self):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.chrome import chrome_trace, validate_chrome_trace
+
+        tel = Telemetry(label="qmon-test")
+        run_measured("sor", scale="smoke", seed=0, route="switched",
+                     qmon=True, telemetry=tel)
+        assert any(name == "queue depth (frames)" for _t, name in tel.series)
+        doc = chrome_trace(tel)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert all(isinstance(e["args"]["value"], float) for e in counters)
+        assert validate_chrome_trace(doc) == []
+
+    def test_sample_retention_cap(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(max_samples=3)
+        for i in range(5):
+            tel.sample("depth", "port0", float(i), float(i))
+        assert len(tel.series[("port0", "depth")]) == 3
+        assert tel.counters["telemetry.samples_dropped"] == 2
+
+
+class TestRunMeasuredPlumbing:
+    def test_route_string_coercion(self):
+        from repro.programs.registry import resolve_route
+        from repro.pvm import Route
+
+        assert resolve_route("direct") == (Route.DIRECT, None)
+        assert resolve_route("default") == (Route.DEFAULT, None)
+        assert resolve_route("switched") == (Route.DIRECT, "switched")
+        assert resolve_route(Route.DEFAULT) == (Route.DEFAULT, None)
+        with pytest.raises(ValueError):
+            resolve_route("bogus")
+
+    def test_qmon_requires_switched_medium(self):
+        with pytest.raises(ValueError):
+            run_measured("sor", scale="smoke", seed=0, qmon=True)
+
+    def test_conflicting_medium_rejected(self):
+        with pytest.raises(ValueError):
+            run_measured("sor", scale="smoke", seed=0, route="switched",
+                         cluster_kwargs={"medium": "ethernet"})
+
+    def test_detail_exposes_monitor(self):
+        detail = {}
+        run_measured("sor", scale="smoke", seed=0, route="switched",
+                     qmon=True, detail=detail)
+        assert detail["qmon"].total_drops() == 0
+        assert detail["qmon"].max_depth_frames() > 0

@@ -307,3 +307,49 @@ class TestSweepCli:
                    "--cache-dir", str(tmp_path / "cache"), "--quiet"])
         assert rc == 1
         assert "FAILED" in capsys.readouterr().err
+
+
+class TestSweepQmon:
+    def test_route_switched_axis_parses_as_string(self):
+        grid = parse_grid("program=sor scale=smoke seed=0 route=switched")
+        assert grid.values("route") == ["switched"]
+        ((key, overrides),) = as_work_items(expand_grid(grid))
+        assert overrides["route"] == "switched"
+        assert ("route", '"switched"') in key.overrides
+
+    def test_qmon_dir_writes_manifest_per_switched_key(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path / "cache")
+        grid = parse_grid("program=sor scale=smoke seed=0,1 route=switched")
+        qdir = tmp_path / "qmon"
+        result = run_sweep(grid, store=store, qmon_dir=qdir)
+        assert result.failed == []
+        files = sorted(qdir.glob("*.qmon.json"))
+        assert len(files) == 2
+        from repro.netmon import validate_qmon
+
+        for f in files:
+            doc = json.loads(f.read_text())
+            assert validate_qmon(doc) == []
+            assert f.name == doc["meta"]["digest"] + ".qmon.json"
+
+    def test_qmon_manifest_regenerated_on_warm_cache(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path / "cache")
+        grid = parse_grid("program=sor scale=smoke seed=0 route=switched")
+        run_sweep(grid, store=store)  # warm the cache without qmon
+        qdir = tmp_path / "qmon"
+        result = run_sweep(grid, store=store, qmon_dir=qdir)
+        assert result.failed == []
+        (f,) = sorted(qdir.glob("*.qmon.json"))
+        first = f.read_bytes()
+        # A third sweep finds both trace and manifest cached; bytes stable.
+        result = run_sweep(grid, store=store, qmon_dir=qdir)
+        assert result.failed == []
+        assert f.read_bytes() == first
+
+    def test_direct_route_keys_skip_qmon(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path / "cache")
+        grid = parse_grid("program=sor scale=smoke seed=0")
+        qdir = tmp_path / "qmon"
+        result = run_sweep(grid, store=store, qmon_dir=qdir)
+        assert result.failed == []
+        assert not qdir.exists() or not list(qdir.glob("*.qmon.json"))
